@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation, printing the reproduced rows/series (visible with
+``pytest benchmarks/ --benchmark-only -s``) and asserting the
+paper's qualitative claims (orderings, crossovers, magnitudes).
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction artifact, bypassing capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            sys.stdout.write("\n" + text + "\n")
+
+    return _report

@@ -1,0 +1,119 @@
+"""Figure 11: energy comparisons against Oracle and standard I2C.
+
+(a) total bus power vs clock frequency for standard I2C (50 pF),
+Oracle I2C and MBus (measured and simulated) at 2 and 14 nodes;
+(b) energy per goodput bit vs payload length.
+
+Claims reproduced: simulated MBus < Oracle I2C < standard I2C for
+all configurations; simulated MBus wins at every payload length;
+measured MBus suffers at short (1-2 byte) messages, so systems
+should coalesce messages.
+"""
+
+import pytest
+
+from repro.analysis import Series, ascii_chart
+from repro.baselines import OracleI2C, StandardI2C
+from repro.power import MeasuredEnergyModel, SimulatedEnergyModel
+
+CLOCKS_HZ = [f * 1e6 for f in (0.5, 1, 2, 4, 6, 8)]
+LENGTHS = range(1, 13)
+
+
+def _figure11a():
+    standard = StandardI2C()
+    series = {
+        "Standard I2C at 50 pF": [
+            (f / 1e6, standard.power_uw(f)) for f in CLOCKS_HZ
+        ],
+    }
+    for n in (14, 2):
+        oracle = OracleI2C.simulation_grade(n)
+        measured = MeasuredEnergyModel()
+        simulated = SimulatedEnergyModel()
+        series[f"{n} Node Oracle I2C"] = [
+            (f / 1e6, oracle.power_uw(f)) for f in CLOCKS_HZ
+        ]
+        series[f"{n} Node MBus Measured"] = [
+            (f / 1e6, measured.power_uw(f, n)) for f in CLOCKS_HZ
+        ]
+        series[f"{n} Node MBus Simulated"] = [
+            (f / 1e6, simulated.power_uw(f, n)) for f in CLOCKS_HZ
+        ]
+    return series
+
+
+def _figure11b():
+    series = {}
+    for n in (14, 2):
+        oracle = OracleI2C.simulation_grade(n)
+        series[f"{n} Node Oracle I2C"] = [
+            (b, oracle.energy_per_goodput_bit_pj(b)) for b in LENGTHS
+        ]
+        series[f"{n} Node MBus Simulated"] = [
+            (b, SimulatedEnergyModel().energy_per_goodput_bit_pj(b, n))
+            for b in LENGTHS
+        ]
+        series[f"{n} Node MBus Measured"] = [
+            (b, MeasuredEnergyModel().energy_per_goodput_bit_pj(b, n))
+            for b in LENGTHS
+        ]
+    series["Standard I2C at 50 pF"] = [
+        (b, StandardI2C().energy_per_goodput_bit_pj(b)) for b in LENGTHS
+    ]
+    return series
+
+
+def test_fig11a_total_power(benchmark, report):
+    series = benchmark(_figure11a)
+    report(
+        ascii_chart(
+            [Series.of(n, p) for n, p in series.items()],
+            x_label="clock (MHz)",
+            y_label="total bus power (uW)",
+            title="Figure 11a - Total Power Draw (reproduced)",
+        )
+    )
+    standard = StandardI2C()
+    for f in CLOCKS_HZ:
+        for n in (2, 14):
+            oracle = OracleI2C.simulation_grade(n)
+            simulated = SimulatedEnergyModel()
+            # Simulated MBus < Oracle I2C < Standard I2C.
+            assert simulated.power_uw(f, n) < oracle.power_uw(f)
+            assert oracle.power_uw(f) < standard.power_uw(f)
+    # Standard I2C's 400 kHz clock power is the Section 2.1 69.6 uW
+    # (clock line only).
+    assert standard.electrical.clock_power_uw == pytest.approx(69.6, abs=0.5)
+
+
+def test_fig11b_goodput_energy(benchmark, report):
+    series = benchmark(_figure11b)
+    report(
+        ascii_chart(
+            [Series.of(n, p) for n, p in series.items()],
+            x_label="payload (bytes)",
+            y_label="energy per goodput bit (pJ)",
+            title="Figure 11b - Energy of Goodput Bits (reproduced)",
+        )
+    )
+    # Simulated MBus outperforms Oracle I2C at every payload length.
+    for n in (2, 14):
+        oracle = OracleI2C.simulation_grade(n)
+        simulated = SimulatedEnergyModel()
+        for b in LENGTHS:
+            assert (
+                simulated.energy_per_goodput_bit_pj(b, n)
+                < oracle.energy_per_goodput_bit_pj(b)
+            )
+    # Measured MBus is steeply penalised at 1-2 bytes: coalesce.
+    measured = MeasuredEnergyModel()
+    assert (
+        measured.energy_per_goodput_bit_pj(1, 2)
+        > 2.5 * measured.energy_per_goodput_bit_pj(12, 2)
+    )
+    # Against a measured-grade oracle, measured MBus wins at length.
+    assert (
+        measured.energy_per_goodput_bit_pj(12, 14)
+        < OracleI2C.measured_grade(14).energy_per_goodput_bit_pj(12)
+    )

@@ -1,0 +1,78 @@
+"""Figure 14: saturating transaction rate.
+
+rate = clock / (19 + 8n) across the four plotted clock speeds
+(100 kHz, 400 kHz, 1 MHz, 7.1 MHz).  Shape claims: the rate falls
+with payload length, scales linearly with clock speed, and what
+matters is aggregate transaction rate, not node count (two nodes at
+1 Hz equal one node at 2 Hz).
+"""
+
+import pytest
+
+from repro.analysis import Series, ascii_chart
+from repro.timing.throughput import (
+    FIGURE14_CLOCKS_HZ,
+    transaction_rate_hz,
+    transaction_rate_series,
+)
+
+
+def test_fig14_transaction_rate(benchmark, report):
+    series = benchmark(transaction_rate_series)
+    report(
+        ascii_chart(
+            [
+                Series.of(f"{clock/1e3:.0f} kHz", pts)
+                for clock, pts in sorted(series.items())
+            ],
+            x_label="payload (bytes)",
+            y_label="transactions per second",
+            log_y=True,
+            title="Figure 14 - Saturating Transaction Rate (reproduced; "
+            "see EXPERIMENTS.md on the paper's y-axis scale)",
+        )
+    )
+    assert set(series) == set(FIGURE14_CLOCKS_HZ)
+    # Monotone decreasing in payload for every clock.
+    for clock, points in series.items():
+        rates = [r for _, r in points]
+        assert rates == sorted(rates, reverse=True)
+    # Linear in clock speed at fixed length.
+    assert transaction_rate_hz(7_100_000, 8) == pytest.approx(
+        71 * transaction_rate_hz(100_000, 8)
+    )
+    # The paper's utilisation equivalence: "two nodes sending at 1 Hz
+    # yields the same utilization as one node sending at 2 Hz."
+    one_at_2hz = 2 * (19 + 64) / 400_000
+    two_at_1hz = 2 * (1 * (19 + 64) / 400_000)
+    assert one_at_2hz == pytest.approx(two_at_1hz)
+
+
+def test_fig14_burst_saturation_on_edge_sim(benchmark, report):
+    """Cross-check on the edge-accurate simulator: back-to-back
+    transactions approach (but cannot exceed) the model rate."""
+    from repro.core import Address, MBusSystem
+    from repro.core.constants import MBusTiming
+
+    def run():
+        system = MBusSystem(timing=MBusTiming(clock_hz=400_000))
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        for i in range(6):
+            system.post("m", Address.short(0x2, 5), bytes([i] * 8))
+        system.run_until_idle()
+        elapsed_s = system.sim.now * 1e-12
+        return len(system.transactions) / elapsed_s
+
+    achieved = benchmark(run)
+    model = transaction_rate_hz(400_000, 8)
+    report(
+        f"burst rate on edge sim: {achieved:.0f} trans/s vs model "
+        f"{model:.0f} trans/s (19 + 8n cycles)"
+    )
+    # The analytic model books the interjection as 5 bus cycles; on a
+    # small ring the real DATA-toggle sequence completes faster than
+    # that, so the edge simulator may slightly exceed the closed form
+    # but must stay within the no-interjection ceiling (14 + 8n).
+    ceiling = 400_000 / (14 + 64)
+    assert 0.5 * model < achieved <= ceiling

@@ -1,0 +1,57 @@
+"""Figure 15: parallel MBus goodput at a 400 kHz clock.
+
+Striping payload bits over 1-4 DATA wires leaves protocol elements
+serial: goodput is overhead-dominated for short messages and tends
+to w-fold for long ones, reaching ~1.5 Mbit/s at 128 bytes with
+4 wires.
+"""
+
+import pytest
+
+from repro.analysis import Series, ascii_chart
+from repro.timing.throughput import (
+    FIGURE15_WIRE_COUNTS,
+    parallel_goodput_bps,
+    parallel_goodput_series,
+    speedup_vs_serial,
+)
+
+
+def test_fig15_parallel_goodput(benchmark, report):
+    series = benchmark(parallel_goodput_series)
+    report(
+        ascii_chart(
+            [
+                Series.of(f"{w} DATA wire{'s' if w > 1 else ''}", pts)
+                for w, pts in sorted(series.items())
+            ],
+            x_label="payload (bytes)",
+            y_label="goodput (kbit/s) @ 400 kHz",
+            title="Figure 15 - Parallel MBus Goodput (reproduced; y in "
+            "kbit/s, see EXPERIMENTS.md on the paper's axis label)",
+        )
+    )
+    assert set(series) == set(FIGURE15_WIRE_COUNTS)
+
+    # Goodput grows with message length for every wire count.
+    for w, points in series.items():
+        values = [v for _, v in points]
+        assert values == sorted(values)
+
+    # "each additional DATA line doubles the MBus payload throughput"
+    # — asymptotically, for long messages.
+    assert speedup_vs_serial(128, 2) == pytest.approx(2.0, rel=0.03)
+    assert speedup_vs_serial(128, 4) == pytest.approx(4.0, rel=0.07)
+
+    # Overhead dominates very short messages: wires barely help.
+    assert speedup_vs_serial(2, 4) < 1.7
+
+    # Magnitude anchor: ~1.5 Mbit/s top-right of the figure.
+    assert parallel_goodput_bps(128, 4, 400_000) == pytest.approx(
+        1.49e6, rel=0.02
+    )
+
+    # Serial MBus at 128 B approaches the 400 kHz line rate.
+    assert parallel_goodput_bps(128, 1, 400_000) == pytest.approx(
+        393e3, rel=0.02
+    )

@@ -1,0 +1,39 @@
+"""Figure 9: maximum MBus clock frequency vs node count.
+
+f_max = 1 / (n x 10 ns): 50 MHz at 2 nodes, 7.1 MHz at the 14-node
+maximum — between I2C (0.1-5 MHz) and special-purpose SPI.
+"""
+
+import pytest
+
+from repro.analysis import Series, ascii_chart, render_check
+from repro.timing import max_clock_hz, max_clock_mhz_series
+
+
+def test_fig9_max_frequency(benchmark, report):
+    series = benchmark(max_clock_mhz_series)
+    chart = ascii_chart(
+        [Series.of("MBus max clock", [(n, f) for n, f in series])],
+        x_label="number of nodes",
+        y_label="max clock (MHz)",
+        title="Figure 9 - Maximum Frequency (reproduced)",
+    )
+    checks = [
+        render_check("f_max @ 14 nodes (MHz)", 7.1, max_clock_hz(14) / 1e6, True),
+        render_check("f_max @ 2 nodes (MHz)", 50.0, max_clock_hz(2) / 1e6, True),
+    ]
+    report(chart + "\n" + "\n".join(checks))
+
+    # Paper anchors.
+    assert max_clock_hz(14) / 1e6 == pytest.approx(7.14, abs=0.05)
+    assert max_clock_hz(2) / 1e6 == pytest.approx(50.0)
+
+    # Monotone inverse-proportional shape.
+    mhz = [f for _, f in series]
+    assert mhz == sorted(mhz, reverse=True)
+    assert max_clock_hz(7) == pytest.approx(2 * max_clock_hz(14))
+
+    # Context claims: above Ultra-Fast I2C (5 MHz) even at 14 nodes,
+    # below special-purpose 100 MHz SPI even at 2 nodes.
+    assert max_clock_hz(14) > 5e6
+    assert max_clock_hz(2) < 100e6

@@ -1,0 +1,60 @@
+"""Section 2.1: the idealized I2C energy decomposition.
+
+A 1.2 V, 50 pF bus with the rise relaxed to a full half cycle needs a
+pull-up of at most 15.5 kOhm; the clock line then costs 23 pJ
+(capacitance dump) + 116 pJ (hold-low dissipation) + 35 pJ (rise
+dissipation) per cycle — 69.6 uW at 400 kHz — of which the 151 pJ/bit
+lost in the resistor is what MBus eliminates.
+"""
+
+import pytest
+
+from repro.analysis import render_check
+from repro.baselines import I2CElectrical
+
+
+def test_sec21_pullup_decomposition(benchmark, report):
+    electrical = benchmark(I2CElectrical)
+    checks = [
+        ("max pull-up (kOhm)", 15.5, electrical.max_pullup_ohms / 1e3, 0.1),
+        ("cap dump (pJ)", 23.0, electrical.cap_dump_pj, 0.5),
+        ("resistor, held low (pJ)", 116.0, electrical.resistor_low_pj, 1.0),
+        ("resistor, rise (pJ)", 35.0, electrical.resistor_rise_pj, 0.5),
+        ("clock power @400 kHz (uW)", 69.6, electrical.clock_power_uw, 0.5),
+        ("pull-up loss (pJ/bit)", 151.0, electrical.pullup_loss_per_bit_pj, 1.0),
+    ]
+    report(
+        "\n".join(
+            render_check(name, paper, ours, abs(ours - paper) <= tol)
+            for name, paper, ours, tol in checks
+        )
+    )
+    for name, paper, ours, tol in checks:
+        assert ours == pytest.approx(paper, abs=tol), name
+
+
+def test_sec21_relaxations_behave(benchmark, report):
+    """Tightening the paper's relaxations only makes I2C worse: a
+    400 pF-rated bus or a 300 ns rise demands a smaller resistor and
+    burns more in it."""
+
+    def run():
+        relaxed = I2CElectrical()                      # 50 pF, full half cycle
+        heavy = I2CElectrical(bus_capacitance_pf=400)  # spec-rated loading
+        return relaxed, heavy
+
+    relaxed, heavy = benchmark(run)
+    report(
+        render_check(
+            "50 pF vs 400 pF pull-up ratio",
+            8.0,
+            relaxed.max_pullup_ohms / heavy.max_pullup_ohms,
+            True,
+        )
+    )
+    assert heavy.max_pullup_ohms < relaxed.max_pullup_ohms
+    assert heavy.clock_cycle_energy_pj > relaxed.clock_cycle_energy_pj
+    # Energy scales linearly with bus capacitance.
+    assert heavy.clock_cycle_energy_pj == pytest.approx(
+        8 * relaxed.clock_cycle_energy_pj, rel=0.01
+    )

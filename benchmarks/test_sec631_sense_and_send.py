@@ -1,0 +1,75 @@
+"""Section 6.3.1: the sense-and-send temperature system.
+
+Reproduces the complete energy/lifetime arithmetic and runs the
+system end-to-end on the edge-accurate simulator.
+"""
+
+import pytest
+
+from repro.analysis import render_check
+from repro.systems import SenseAndSendAnalysis, TemperatureSystem
+
+
+def test_sec631_energy_and_lifetime(benchmark, report):
+    analysis = SenseAndSendAnalysis()
+
+    def run():
+        return {
+            "response_nj": analysis.response_energy_nj(),
+            "relay_penalty_nj": analysis.relay_penalty_nj(),
+            "event_direct_nj": analysis.event_energy_nj(True),
+            "event_relay_nj": analysis.event_energy_nj(False),
+            "life_direct_d": analysis.lifetime_days(True),
+            "life_relay_d": analysis.lifetime_days(False),
+            "gain_h": analysis.lifetime_gain_hours(),
+            "util": analysis.bus_utilization(),
+            "util_cut": analysis.utilization_reduction_from_direct(),
+        }
+
+    values = benchmark(run)
+    checks = [
+        ("8 B response energy (nJ)", 5.6, values["response_nj"], 0.05),
+        ("double-send cost (nJ)", 11.2, 2 * values["response_nj"], 0.1),
+        ("direct-routing saving (nJ)", 6.6, values["relay_penalty_nj"], 0.05),
+        ("event energy (nJ)", 100.0, values["event_direct_nj"], 0.1),
+        ("lifetime, direct (days)", 47.5, values["life_direct_d"], 0.5),
+        ("lifetime, relayed (days)", 44.5, values["life_relay_d"], 0.6),
+        ("lifetime gain (hours)", 71.0, values["gain_h"], 2.0),
+        ("bus utilization (%)", 0.0022, values["util"] * 100, 0.0002),
+        ("utilization cut (%)", 40.0, values["util_cut"] * 100, 3.0),
+    ]
+    report(
+        "\n".join(
+            render_check(name, paper, ours, abs(ours - paper) <= tol)
+            for name, paper, ours, tol in checks
+        )
+        + "\n\n"
+        + analysis.event_ledger(direct=False).summary()
+    )
+    for name, paper, ours, tol in checks:
+        assert ours == pytest.approx(paper, abs=tol), name
+    # ~7 % saving headline.
+    saving = values["relay_penalty_nj"] / values["event_relay_nj"]
+    assert 0.05 < saving < 0.08
+
+
+def test_sec631_edge_sim_round(benchmark, report):
+    """The full sense-and-send round on the edge-accurate ring."""
+
+    def run():
+        system = TemperatureSystem(direct_to_radio=True)
+        transactions = system.run_round()
+        return system, transactions
+
+    system, transactions = benchmark(run)
+    report(
+        "round transactions: "
+        + ", ".join(f"{t.tx_node}->{'/'.join(t.rx_nodes)}" for t in transactions)
+    )
+    # The response goes straight to the radio, never the processor.
+    assert [t.tx_node for t in transactions] == ["cpu", "sensor"]
+    assert transactions[1].rx_nodes == ["radio"]
+    assert system.system.node("cpu").inbox == []
+    # Request is 4 bytes, response 8 bytes (cycle counts prove it).
+    assert transactions[0].clock_cycles == 3 + 8 + 32
+    assert transactions[1].clock_cycles == 3 + 8 + 64

@@ -1,0 +1,107 @@
+"""Section 6.3.2: the motion-activated imaging system.
+
+Reproduces the image-transfer overhead arithmetic (MBus row-by-row
+1.31 % vs I2C 12.5 % / 13.2 %; 90-99 % ACK-overhead reduction) and
+runs a scaled-down frame through the edge-accurate simulator.
+"""
+
+import pytest
+
+from repro.analysis import render_check
+from repro.systems import ImagerSystem, ImageTransferAnalysis
+
+
+def test_sec632_transfer_overheads(benchmark, report):
+    analysis = ImageTransferAnalysis()
+
+    def run():
+        return {
+            "extra_bits": analysis.mbus_extra_bits_for_rows,
+            "mbus_rows_pct": analysis.mbus_rows_overhead_fraction * 100,
+            "i2c_single_bits": analysis.i2c_single_overhead_bits,
+            "i2c_single_pct": analysis.i2c_single_overhead_fraction * 100,
+            "i2c_rows_bits": analysis.i2c_rows_overhead_bits,
+            "i2c_rows_pct": analysis.i2c_rows_overhead_fraction * 100,
+            "ack_cut_rows": analysis.ack_overhead_reduction(True) * 100,
+            "ack_cut_single": analysis.ack_overhead_reduction(False) * 100,
+        }
+
+    values = benchmark(run)
+    checks = [
+        ("row-by-row extra bits", 3_021, values["extra_bits"], 0),
+        ("MBus row overhead (%)", 1.31, values["mbus_rows_pct"], 0.02),
+        ("I2C whole-image bits", 28_810, values["i2c_single_bits"], 0),
+        ("I2C whole-image (%)", 12.5, values["i2c_single_pct"], 0.05),
+        ("I2C row-by-row bits", 30_400, values["i2c_rows_bits"], 0),
+        ("I2C row-by-row (%)", 13.2, values["i2c_rows_pct"], 0.05),
+    ]
+    report(
+        "\n".join(
+            render_check(name, paper, ours, abs(ours - paper) <= tol)
+            for name, paper, ours, tol in checks
+        )
+        + "\n"
+        + render_check(
+            "ACK overhead cut (%)",
+            "90-99",
+            f"{values['ack_cut_rows']:.1f}/{values['ack_cut_single']:.2f}",
+            True,
+        )
+    )
+    for name, paper, ours, tol in checks:
+        assert ours == pytest.approx(paper, abs=tol), name
+    assert 90 <= values["ack_cut_rows"] <= 99
+    assert values["ack_cut_single"] > 99
+
+
+def test_sec632_frame_rates(benchmark, report):
+    analysis = ImageTransferAnalysis()
+
+    def run():
+        return {
+            "paper_fast_ms": analysis.paper_quoted_frame_time_s(6.67e6) * 1e3,
+            "paper_slow_s": analysis.paper_quoted_frame_time_s(10e3),
+            "serial_400k_s": analysis.frame_time_s(400e3),
+            "serial_rows_400k_s": analysis.frame_time_s(400e3, row_by_row=True),
+        }
+
+    values = benchmark(run)
+    report(
+        "\n".join(
+            [
+                render_check("paper frame time @6.67 MHz (ms)", 4.2,
+                             values["paper_fast_ms"], 0.2),
+                render_check("paper frame time @10 kHz (s)", 2.9,
+                             values["paper_slow_s"], 0.05),
+                render_check("bit-serial @400 kHz (s)", 0.576,
+                             values["serial_400k_s"], 0.01),
+            ]
+        )
+    )
+    assert values["paper_fast_ms"] == pytest.approx(4.3, abs=0.2)
+    assert values["paper_slow_s"] == pytest.approx(2.88, abs=0.05)
+    # Row-by-row adds only ~1.3 % time over a single message.
+    assert values["serial_rows_400k_s"] / values["serial_400k_s"] < 1.014
+
+
+def test_sec632_motion_event_on_edge_sim(benchmark, report):
+    """Motion -> interrupt -> wake -> stream rows, on a scaled frame."""
+
+    def run():
+        system = ImagerSystem(rows=4)
+        transactions = system.motion_event()
+        return system, transactions
+
+    system, transactions = benchmark(run)
+    nulls = [t for t in transactions if t.general_error]
+    rows = [t for t in transactions if t.ok]
+    report(
+        f"motion event: {len(nulls)} wakeup null transaction, "
+        f"{len(rows)} row messages, radio holds "
+        f"{len(system.received_rows())} rows"
+    )
+    assert len(nulls) == 1
+    assert len(rows) == 4
+    assert len(system.received_rows()) == 4
+    # The imager power-gated itself again after streaming.
+    assert not system.system.node("imager").layer_domain.is_on

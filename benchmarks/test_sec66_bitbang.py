@@ -1,0 +1,64 @@
+"""Section 6.6: bitbanging MBus on an MSP430.
+
+Worst-case edge-service path of 20 instructions / 65 cycles including
+interrupt entry and exit; at 8 MHz that supports a 120 kHz MBus
+clock.  Wikipedia's I2C bitbang has a comparable longest path
+(21 instructions).
+"""
+
+import pytest
+
+from repro.analysis import render_check
+from repro.bitbang import (
+    analyze_i2c_bitbang,
+    analyze_mbus_bitbang,
+    mbus_edge_isr,
+)
+
+
+def test_sec66_mbus_bitbang(benchmark, report):
+    analysis = benchmark(analyze_mbus_bitbang)
+    i2c = analyze_i2c_bitbang()
+    checks = [
+        ("worst path (instructions)", 20, analysis.worst_path_instructions, 0),
+        ("worst path (cycles)", 65, analysis.worst_path_cycles, 0),
+        ("supported MBus clock (kHz)", 120, analysis.supported_bus_clock_hz / 1e3, 0),
+        ("I2C bitbang longest path (instr)", 21, i2c.worst_path_instructions, 0),
+    ]
+    report(
+        "\n".join(
+            render_check(name, paper, ours, ours == paper)
+            for name, paper, ours in [(n, p, o) for n, p, o, _ in checks]
+        )
+    )
+    for name, paper, ours, tol in checks:
+        assert ours == pytest.approx(paper, abs=tol), name
+    # Response time: 65 cycles at 8 MHz ~= 8.1 us.
+    assert analysis.response_time_us == pytest.approx(8.125, abs=0.01)
+    # Four GPIO pins, two with edge interrupts: encoded in the model's
+    # single edge ISR servicing both CLK and DATA events.
+    isr = mbus_edge_isr()
+    mnemonics = [i.mnemonic for i in isr.flatten_worst_path()]
+    assert any("P1" in m for m in mnemonics)   # MMIO port accesses
+
+
+def test_sec66_scaling_with_cpu_clock(benchmark, report):
+    """The achievable bus clock scales with the MCU clock."""
+
+    def run():
+        return {
+            mhz: analyze_mbus_bitbang(cpu_clock_hz=mhz * 1e6).supported_bus_clock_hz
+            for mhz in (1, 8, 16, 25)
+        }
+
+    rates = benchmark(run)
+    report(
+        "\n".join(
+            f"  {mhz:>2} MHz MCU -> {khz / 1e3:.0f} kHz MBus clock"
+            for mhz, khz in sorted(rates.items())
+        )
+    )
+    assert rates[8] == 120_000
+    assert rates[16] == pytest.approx(240_000, abs=10_000)
+    values = [rates[m] for m in sorted(rates)]
+    assert values == sorted(values)

@@ -1,0 +1,65 @@
+"""Table 2: size of MBus components at 180 nm.
+
+Regenerates the published SLOC/gates/flops/area rows, fits the
+two-parameter gate-equivalent area model, and asserts the table's
+claims: non-power-gated designs need only the Bus Controller, the
+optional always-on modules are small, and MBus's total area is a
+modest premium over the OpenCores masters.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.synthesis import (
+    MBUS_MODULES,
+    MBUS_TOTAL,
+    OTHER_BUSES,
+    fit_area_library,
+)
+from repro.synthesis.area_model import (
+    integration_overhead_um2,
+    mbus_required_only_area_um2,
+    table2_rows,
+)
+
+
+def test_table2_component_sizes(benchmark, report):
+    lib = fit_area_library()
+    rows = benchmark(table2_rows, lib)
+    report(
+        format_table(
+            ["Module", "SLOC", "Gates", "Flops", "Area um2 (paper)",
+             "Area um2 (fit model)"],
+            rows,
+            title=(
+                "Table 2 - Size of MBus Components (reproduced; fit: "
+                f"{lib.um2_per_gate:.1f} um2/gate, "
+                f"{lib.um2_per_flip_flop:.1f} um2/flop)"
+            ),
+        )
+    )
+    # Published values reproduced from the database.
+    assert MBUS_MODULES["bus_controller"].area_um2 == 27_376
+    assert MBUS_TOTAL.area_um2 == 37_200
+
+    # Claim: non-power-gated designs require only the Bus Controller.
+    assert mbus_required_only_area_um2() == pytest.approx(27_376)
+
+    # Claim: the three optional always-on modules are small next to
+    # the Bus Controller (together < 25 % of it).
+    optional = sum(m.area_um2 for m in MBUS_MODULES.values() if m.optional)
+    assert optional < 0.25 * MBUS_MODULES["bus_controller"].area_um2
+
+    # Claim: "a small amount of additional integration overhead area".
+    assert 0 < integration_overhead_um2() < 4_000
+
+    # Claim: modest premium over I2C, comparable to the SPI master.
+    assert MBUS_TOTAL.area_um2 < 2 * OTHER_BUSES["i2c_master"].area_um2
+    assert MBUS_TOTAL.area_um2 == pytest.approx(
+        OTHER_BUSES["spi_master"].area_um2, rel=0.05
+    )
+
+    # The fitted model explains the big designs to within 50 %.
+    lib = fit_area_library()
+    for module in (MBUS_MODULES["bus_controller"], *OTHER_BUSES.values()):
+        assert abs(module.area_error_fraction(lib)) < 0.5

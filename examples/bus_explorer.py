@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bus explorer: arbitration waveforms, priority, and enumeration.
+
+Recreates the paper's Figure 5 scenario — two nodes requesting the
+bus nearly simultaneously, with the topological loser stealing the
+bus through the priority arbitration cycle — and dumps the actual
+CLK/DATA waveforms from the edge-accurate simulator.  Then runs the
+Section 4.7 enumeration protocol on a system with two copies of the
+same chip design.
+
+Run:  python examples/bus_explorer.py
+"""
+
+from repro.core import Address, MBusSystem
+from repro.core.constants import MBusTiming
+from repro.core.enumeration import Enumerator
+
+
+def arbitration_waveforms() -> None:
+    print("=== Figure 5 scenario: arbitration + priority arbitration ===")
+    system = MBusSystem(trace=True, timing=MBusTiming(clock_hz=400_000))
+    system.add_mediator_node("med", short_prefix=0x1)
+    system.add_node("n1", short_prefix=0x2)
+    system.add_node("n2", short_prefix=0x3)
+    system.add_node("n3", short_prefix=0x4)
+    system.build()
+
+    # n1 and n3 request at nearly the same time; n3 carries the
+    # priority flag and claims the bus despite losing arbitration.
+    system.post("n3", Address.short(0x1, 5), b"\x33", priority=True)
+    system.post("n1", Address.short(0x1, 5), b"\x11")
+    system.run_until_idle()
+
+    order = [t.tx_node for t in system.transactions]
+    print(f"  transmission order: {order} (n3 wins via priority)")
+    print(f"  n1 preempted {system.node('n1').engine.stats.priority_preemptions} time(s)")
+
+    print("\n  waveforms (first 60 us, '#'=high '_'=low):")
+    art = system.tracer.ascii_waveform(
+        ["med.dout.clk", "med.dout.data", "n1.dout.data", "n3.dout.data"],
+        step=1_000_000,  # 1 us per character
+    )
+    for line in art.splitlines():
+        print("  " + line[:100])
+
+
+def enumeration_demo() -> None:
+    print("\n=== Section 4.7: run-time enumeration ===")
+    system = MBusSystem()
+    system.add_mediator_node("ctl", short_prefix=0x1)
+    # Two copies of the same memory chip: identical full prefixes —
+    # the configuration that *requires* enumeration.
+    system.add_node("mem0", full_prefix=0xBEEF0)
+    system.add_node("mem1", full_prefix=0xBEEF0)
+    system.add_node("sensor", full_prefix=0x12345)
+    system.build()
+
+    assignments = Enumerator(system, "ctl").enumerate()
+    for name, prefix in assignments.items():
+        print(f"  {name:<7s} -> short prefix {prefix:#x}")
+    print("  (prefix order follows ring position: topological priority)")
+
+    # The enumerated duplicates are now individually addressable.
+    result = system.send("ctl", Address.short(assignments["mem1"], 5), b"\x42")
+    print(f"  message to mem1 via its new prefix: ok={result.ok}, "
+          f"delivered={system.node('mem1').inbox[-1].payload.hex()}")
+
+
+def main() -> None:
+    arbitration_waveforms()
+    enumeration_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""MBus reproduction: an ultra-low power interconnect bus (ISCA 2015).
+
+A full-system, laptop-scale reproduction of Pannuto et al.'s MBus:
+the edge-accurate protocol simulator (:mod:`repro.core` on
+:mod:`repro.sim`), power and energy models (:mod:`repro.power`),
+baseline buses for comparison (:mod:`repro.baselines`), timing and
+throughput analysis (:mod:`repro.timing`), synthesis area estimation
+(:mod:`repro.synthesis`), an MCU bitbang cost model
+(:mod:`repro.bitbang`), and the paper's two microbenchmark systems
+(:mod:`repro.systems`).
+"""
+
+from repro.core import (
+    Address,
+    ControlCode,
+    MBusSystem,
+    MBusTiming,
+    Message,
+    TransactionModel,
+    TransactionResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Address",
+    "ControlCode",
+    "MBusSystem",
+    "MBusTiming",
+    "Message",
+    "TransactionModel",
+    "TransactionResult",
+    "__version__",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run a three-chip transaction and print the waveform-level summary.
+``figures``
+    Print the reproduced Figure 9/10/14/15 series as ASCII charts.
+``tables``
+    Print the reproduced Tables 1-3.
+``systems``
+    Run both Section 6.3 microbenchmark systems end to end.
+``vcd PATH``
+    Simulate a traced transaction and write a VCD file to PATH.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Series, ascii_chart, format_table
+
+
+def _cmd_demo(_args) -> int:
+    from repro.core import Address, MBusSystem
+
+    system = MBusSystem()
+    system.add_mediator_node("cpu", short_prefix=0x1)
+    system.add_node("sensor", short_prefix=0x2, power_gated=True)
+    system.add_node("radio", short_prefix=0x3, power_gated=True)
+    result = system.send("cpu", Address.short(0x2, 5), b"\x12\x34\x56\x78")
+    print(f"cpu -> sensor (4 B): ok={result.ok}, "
+          f"{result.clock_cycles}+{result.control_cycles} cycles, "
+          f"{result.duration_ps / 1e6:.1f} us")
+    print(f"sensor received {system.node('sensor').inbox[-1].payload.hex()} "
+          f"and returned to sleep: {not system.node('sensor').is_fully_awake}")
+    return 0
+
+
+def _cmd_figures(_args) -> int:
+    from repro.timing import max_clock_mhz_series
+    from repro.timing.overhead import overhead_series
+    from repro.timing.throughput import (
+        parallel_goodput_series,
+        transaction_rate_series,
+    )
+
+    print(ascii_chart(
+        [Series.of("MBus max clock", max_clock_mhz_series())],
+        x_label="nodes", y_label="MHz", title="Figure 9",
+    ))
+    print()
+    print(ascii_chart(
+        [Series.of(k, v) for k, v in overhead_series().items()],
+        x_label="bytes", y_label="overhead bits", title="Figure 10",
+    ))
+    print()
+    print(ascii_chart(
+        [Series.of(f"{c/1e3:.0f} kHz", v)
+         for c, v in sorted(transaction_rate_series().items())],
+        x_label="bytes", y_label="trans/s", log_y=True, title="Figure 14",
+    ))
+    print()
+    print(ascii_chart(
+        [Series.of(f"{w} wire(s)", v)
+         for w, v in sorted(parallel_goodput_series().items())],
+        x_label="bytes", y_label="kbit/s", title="Figure 15",
+    ))
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.baselines.features import FEATURE_MATRIX
+    from repro.power import MeasuredEnergyModel
+    from repro.synthesis.area_model import table2_rows
+
+    rows = [
+        (n, f.io_pads(14), "Y" if f.synthesizable else "N",
+         "Y" if f.power_aware else "N", f.overhead_note)
+        for n, f in FEATURE_MATRIX.items()
+    ]
+    print(format_table(
+        ["Bus", "Pads@14", "Synth", "PowerAware", "Overhead"],
+        rows, title="Table 1 (abridged)",
+    ))
+    print()
+    print(format_table(
+        ["Module", "SLOC", "Gates", "Flops", "Paper um2", "Model um2"],
+        table2_rows(), title="Table 2",
+    ))
+    print()
+    model = MeasuredEnergyModel()
+    print(format_table(
+        ["Role", "pJ/bit"],
+        [("TX (member+mediator)", model.roles.tx),
+         ("RX", model.roles.rx),
+         ("FWD", model.roles.fwd),
+         ("Average", model.average_pj_per_bit())],
+        title="Table 3",
+    ))
+    return 0
+
+
+def _cmd_systems(_args) -> int:
+    from repro.systems import (
+        ImagerSystem,
+        SenseAndSendAnalysis,
+        TemperatureSystem,
+    )
+
+    temp = TemperatureSystem()
+    transactions = temp.run_round()
+    print("sense & send:", ", ".join(
+        f"{t.tx_node}->{'/'.join(t.rx_nodes)}" for t in transactions
+    ))
+    analysis = SenseAndSendAnalysis()
+    print(f"  lifetime gain from direct routing: "
+          f"{analysis.lifetime_gain_hours():.0f} hours")
+
+    imager = ImagerSystem(rows=4)
+    events = imager.motion_event()
+    print(f"imager: motion event -> {len(events)} transactions, "
+          f"{len(imager.received_rows())} rows at the radio")
+    return 0
+
+
+def _cmd_vcd(args) -> int:
+    from repro.core import Address, MBusSystem
+
+    system = MBusSystem(trace=True)
+    system.add_mediator_node("m", short_prefix=0x1)
+    system.add_node("a", short_prefix=0x2)
+    system.add_node("b", short_prefix=0x3)
+    system.send("a", Address.short(0x3, 5), b"\xCA\xFE")
+    system.tracer.write_vcd(args.path)
+    print(f"wrote {len(system.tracer.transitions)} transitions to {args.path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MBus (ISCA 2015) reproduction tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run a three-chip transaction")
+    sub.add_parser("figures", help="print reproduced figures")
+    sub.add_parser("tables", help="print reproduced tables")
+    sub.add_parser("systems", help="run the 6.3 microbenchmark systems")
+    vcd = sub.add_parser("vcd", help="write a waveform VCD")
+    vcd.add_argument("path")
+    args = parser.parse_args(argv)
+    return {
+        "demo": _cmd_demo,
+        "figures": _cmd_figures,
+        "tables": _cmd_tables,
+        "systems": _cmd_systems,
+        "vcd": _cmd_vcd,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

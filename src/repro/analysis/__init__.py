@@ -1,0 +1,6 @@
+"""Table and figure rendering shared by the benchmark harness."""
+
+from repro.analysis.figures import ascii_chart, Series
+from repro.analysis.tables import format_table, render_check
+
+__all__ = ["ascii_chart", "Series", "format_table", "render_check"]

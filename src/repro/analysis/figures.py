@@ -1,0 +1,73 @@
+"""ASCII chart rendering: regenerate the paper's figures as text."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled line of (x, y) points."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @staticmethod
+    def of(label: str, points: Sequence[Tuple[float, float]]) -> "Series":
+        return Series(label, tuple(points))
+
+
+_MARKERS = "o*x+#@%&"
+
+
+def ascii_chart(
+    series_list: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render series on a character grid, one marker per series."""
+    points = [p for s in series_list for p in s.points]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points if not math.isinf(p[1])]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if log_y:
+        y_min = math.log10(max(y_min, 1e-12))
+        y_max = math.log10(max(y_max, 1e-12))
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in series.points:
+            if math.isinf(y):
+                continue
+            yv = math.log10(max(y, 1e-12)) if log_y else y
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = f"{y_max:.3g}" if not log_y else f"1e{y_max:.1f}"
+    bottom = f"{y_min:.3g}" if not log_y else f"1e{y_min:.1f}"
+    lines.append(f"{y_label} (top={top}, bottom={bottom})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    for index, series in enumerate(series_list):
+        lines.append(f"  {_MARKERS[index % len(_MARKERS)]} {series.label}")
+    return "\n".join(lines)

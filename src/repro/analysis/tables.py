@@ -1,0 +1,49 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_check(
+    name: str, paper_value: object, measured_value: object, match: bool
+) -> str:
+    """One paper-vs-measured comparison line for EXPERIMENTS-style logs."""
+    status = "OK " if match else "DIFF"
+    return (
+        f"[{status}] {name:<46s} paper={_cell(paper_value):>12s}  "
+        f"ours={_cell(measured_value):>12s}"
+    )

@@ -1,0 +1,35 @@
+"""Baseline buses the paper compares against (Section 2, Table 1).
+
+* :mod:`repro.baselines.i2c` — open-collector I2C: pull-up RC physics
+  (the Section 2.1 analysis), Standard I2C, and the idealised
+  "Oracle I2C" of Section 6.2.
+* :mod:`repro.baselines.lee_i2c` — Lee et al.'s I2C-like bus keeper
+  design [14]: 88 pJ/bit, 5x internal clock, process-tuned logic.
+* :mod:`repro.baselines.spi` — SPI: chip-select scaling, single
+  master, slave-to-slave relay cost, daisy chaining.
+* :mod:`repro.baselines.uart` — UART framing overhead.
+* :mod:`repro.baselines.features` — the Table 1 feature matrix.
+"""
+
+from repro.baselines.features import (
+    BusFeatures,
+    FEATURE_MATRIX,
+    buses_satisfying_all_critical,
+)
+from repro.baselines.i2c import I2CElectrical, OracleI2C, StandardI2C
+from repro.baselines.lee_i2c import LeeI2C
+from repro.baselines.spi import DaisyChainedSPI, SPIBus
+from repro.baselines.uart import UARTLink
+
+__all__ = [
+    "BusFeatures",
+    "FEATURE_MATRIX",
+    "buses_satisfying_all_critical",
+    "I2CElectrical",
+    "OracleI2C",
+    "StandardI2C",
+    "LeeI2C",
+    "DaisyChainedSPI",
+    "SPIBus",
+    "UARTLink",
+]

@@ -1,0 +1,163 @@
+"""The Table 1 feature comparison matrix.
+
+Table 1 splits features into *critical* requirements (population-
+independent pad count, ultra-low standby and active power,
+synthesizability, an area-free global namespace, multi-master /
+interrupt support) and *desirable* ones (broadcast, data-independent
+behaviour, power awareness, hardware ACKs, low overhead).  Only MBus
+satisfies every critical feature.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+class PowerLevel(enum.Enum):
+    LOW = "Low"
+    MEDIUM = "Med"
+    HIGH = "High"
+
+
+@dataclass(frozen=True)
+class BusFeatures:
+    """One column of Table 1."""
+
+    name: str
+    io_pads: Callable[[int], int]          # pads as a function of node count
+    io_pads_note: str
+    standby_power: PowerLevel
+    active_power: PowerLevel
+    synthesizable: bool
+    global_unique_addresses: Optional[int]  # None = no address space
+    multi_master: bool
+    broadcast: bool                         # "Option" counts as False here
+    broadcast_note: str
+    data_independent: bool
+    power_aware: bool
+    hardware_acks: bool
+    overhead_bits: Callable[[int], int]     # protocol bits for n bytes
+    overhead_note: str
+
+    # -- the paper's critical-feature predicate --------------------------------
+    def population_independent_pads(self) -> bool:
+        return self.io_pads(2) == self.io_pads(14)
+
+    def satisfies_critical(self) -> bool:
+        return (
+            self.population_independent_pads()
+            and self.standby_power is PowerLevel.LOW
+            and self.active_power is PowerLevel.LOW
+            and self.synthesizable
+            and (self.global_unique_addresses or 0) >= 2 ** 20
+            and self.multi_master
+        )
+
+    def satisfies_all(self) -> bool:
+        return (
+            self.satisfies_critical()
+            and self.broadcast
+            and self.data_independent
+            and self.power_aware
+            and self.hardware_acks
+        )
+
+
+FEATURE_MATRIX: Dict[str, BusFeatures] = {
+    "I2C": BusFeatures(
+        name="I2C",
+        io_pads=lambda n: 2,
+        io_pads_note="2 shared (4 when wirebonding pass-through)",
+        standby_power=PowerLevel.LOW,
+        active_power=PowerLevel.HIGH,
+        synthesizable=True,
+        global_unique_addresses=128,
+        multi_master=True,
+        broadcast=False,
+        broadcast_note="general call exists but is not channelised",
+        data_independent=True,
+        power_aware=False,
+        hardware_acks=True,
+        overhead_bits=lambda n: 10 + n,
+        overhead_note="10 + n",
+    ),
+    "SPI": BusFeatures(
+        name="SPI",
+        io_pads=lambda n: 3 + n,
+        io_pads_note="3 + one chip-select per slave",
+        standby_power=PowerLevel.LOW,
+        active_power=PowerLevel.LOW,
+        synthesizable=True,
+        global_unique_addresses=None,
+        multi_master=False,
+        broadcast=True,
+        broadcast_note="optional (assert several selects)",
+        data_independent=True,
+        power_aware=False,
+        hardware_acks=False,
+        overhead_bits=lambda n: 2,
+        overhead_note="2 (chip-select assert/deassert)",
+    ),
+    "UART": BusFeatures(
+        name="UART",
+        io_pads=lambda n: 2 * n,
+        io_pads_note="2 x n pairwise",
+        standby_power=PowerLevel.LOW,
+        active_power=PowerLevel.LOW,
+        synthesizable=True,
+        global_unique_addresses=None,
+        multi_master=False,
+        broadcast=False,
+        broadcast_note="point-to-point only",
+        data_independent=True,
+        power_aware=False,
+        hardware_acks=False,
+        overhead_bits=lambda n: 2 * n,
+        overhead_note="(2-3) x n depending on stop bits",
+    ),
+    "Lee-I2C": BusFeatures(
+        name="Lee-I2C",
+        io_pads=lambda n: 2,
+        io_pads_note="2 shared (4 when wirebonding pass-through)",
+        standby_power=PowerLevel.LOW,
+        active_power=PowerLevel.MEDIUM,
+        synthesizable=False,
+        global_unique_addresses=128,
+        multi_master=True,
+        broadcast=False,
+        broadcast_note="none",
+        data_independent=True,
+        power_aware=False,
+        hardware_acks=True,
+        overhead_bits=lambda n: 10 + n,
+        overhead_note="10 + n",
+    ),
+    "MBus": BusFeatures(
+        name="MBus",
+        io_pads=lambda n: 4,
+        io_pads_note="4 fixed (DATA/CLK in/out)",
+        standby_power=PowerLevel.LOW,
+        active_power=PowerLevel.LOW,
+        synthesizable=True,
+        global_unique_addresses=2 ** 24,
+        multi_master=True,
+        broadcast=True,
+        broadcast_note="hardware broadcast with channels",
+        data_independent=True,
+        power_aware=True,
+        hardware_acks=True,
+        overhead_bits=lambda n: 19,
+        overhead_note="19 short / 43 full, length-independent",
+    ),
+}
+
+
+def buses_satisfying_all_critical() -> List[str]:
+    """Names of buses meeting every critical requirement (only MBus)."""
+    return [
+        name
+        for name, features in FEATURE_MATRIX.items()
+        if features.satisfies_critical()
+    ]

@@ -1,0 +1,70 @@
+"""Lee et al.'s I2C variant [14] (Sections 2.2 and 2.5).
+
+Lee's "I2C-like" bus replaces the pull-up with active drive plus a
+low-energy bus-keeper circuit, reaching 88 pJ/bit — four times MBus —
+at the cost of (a) a local clock running five times faster than the
+bus clock, (b) hand-tuned, process-specific ratioed logic (it is not
+synthesizable), and (c) a wakeup sequence (start bit followed shortly
+by a stop bit) whose timing varies chip to chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LEE_PJ_PER_BIT = 88.0            # Section 2.2
+LEE_INTERNAL_CLOCK_RATIO = 5     # local clock 5x the bus clock
+LEE_SYNTHESIZABLE = False        # hand-tuned ratioed logic
+
+
+@dataclass(frozen=True)
+class LeeWakeupTiming:
+    """Per-chip wakeup timing (Section 2.5): the interval between the
+    start and stop bits of the wakeup sequence, and the delay until
+    the chip is awake, vary chip to chip and must be hand-tuned with
+    conservative estimates."""
+
+    start_stop_gap_us: float
+    awake_after_stop_us: float
+
+    def conservative_wakeup_us(self, margin: float = 1.5) -> float:
+        return margin * (self.start_stop_gap_us + self.awake_after_stop_us)
+
+
+class LeeI2C:
+    """Protocol/energy model of the Lee bus (I2C framing retained)."""
+
+    def __init__(
+        self,
+        pj_per_bit: float = LEE_PJ_PER_BIT,
+        internal_clock_ratio: int = LEE_INTERNAL_CLOCK_RATIO,
+    ):
+        self.pj_per_bit = pj_per_bit
+        self.internal_clock_ratio = internal_clock_ratio
+        self.synthesizable = LEE_SYNTHESIZABLE
+
+    @staticmethod
+    def overhead_bits(n_bytes: int) -> int:
+        """I2C framing is retained: 10 + n (Table 1)."""
+        return 10 + n_bytes
+
+    def total_cycles(self, n_bytes: int) -> int:
+        return 8 * n_bytes + self.overhead_bits(n_bytes)
+
+    def internal_clock_hz(self, bus_clock_hz: float) -> float:
+        """The fast local clock every chip must run (Section 2.2)."""
+        return self.internal_clock_ratio * bus_clock_hz
+
+    def message_energy_pj(self, n_bytes: int) -> float:
+        return self.total_cycles(n_bytes) * self.pj_per_bit
+
+    def energy_per_goodput_bit_pj(self, n_bytes: int) -> float:
+        if n_bytes <= 0:
+            return float("inf")
+        return self.message_energy_pj(n_bytes) / (8 * n_bytes)
+
+    def wakeup_overhead_bits(self, know_power_state: bool) -> int:
+        """Senders must either know every recipient's power state or
+        send the wakeup sequence (start + stop, ~2 bit times) before
+        every message (Section 2.5)."""
+        return 0 if know_power_state else 2

@@ -1,0 +1,97 @@
+"""SPI models (Section 2.3): chip-selects, single master, daisy chains.
+
+SPI is single-ended so it avoids the pull-up energy problem, and its
+framing overhead is just asserting/de-asserting the chip-select
+(2 bit-times in Figure 10).  Its costs are structural instead:
+
+* one unique chip-select line per slave — I/O pads scale as 3 + n;
+* a single master: slave-to-slave traffic relays through the master,
+  more than doubling its cost (sent twice + controller energy);
+* slaves cannot initiate: an interrupt needs an extra I/O line;
+* daisy chaining removes chip-selects but turns the system into one
+  long shift register with overhead proportional to every device's
+  buffer length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SPIBus:
+    """A conventional single-master SPI bus with n slaves."""
+
+    n_slaves: int
+    pj_per_bit: float = 5.0            # single-ended totem-pole drive
+    controller_pj_per_byte: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.n_slaves < 1:
+            raise ValueError("SPI needs at least one slave")
+
+    # -- structural costs (Table 1) -----------------------------------------
+    @property
+    def io_pads(self) -> int:
+        """MOSI + MISO + SCLK + one chip-select per slave: 3 + n."""
+        return 3 + self.n_slaves
+
+    @property
+    def supports_slave_initiation(self) -> bool:
+        return False
+
+    def interrupt_lines_needed(self, n_interrupting_slaves: int) -> int:
+        """Each slave that must signal the master needs its own line."""
+        return n_interrupting_slaves
+
+    # -- framing (Figure 10) ----------------------------------------------------
+    @staticmethod
+    def overhead_bits(n_bytes: int) -> int:
+        """Asserting and de-asserting the chip-select: 2."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return 2
+
+    def total_cycles(self, n_bytes: int) -> int:
+        return 8 * n_bytes + self.overhead_bits(n_bytes)
+
+    # -- energy ----------------------------------------------------------------
+    def master_to_slave_energy_pj(self, n_bytes: int) -> float:
+        return self.total_cycles(n_bytes) * self.pj_per_bit
+
+    def slave_to_slave_energy_pj(self, n_bytes: int) -> float:
+        """Relayed through the master: sent twice plus the energy of
+        running the central controller (Section 2.3)."""
+        relay = 2 * self.master_to_slave_energy_pj(n_bytes)
+        controller = n_bytes * self.controller_pj_per_byte
+        return relay + controller
+
+
+@dataclass(frozen=True)
+class DaisyChainedSPI:
+    """Daisy-chained SPI: a system-wide shift register (Section 2.3).
+
+    Eliminates chip-selects but every transfer shifts through the
+    buffer of every device, adding overhead proportional to both the
+    device count and each device's buffer length, and a protocol
+    layer is still needed to establish message validity.
+    """
+
+    buffer_bits_per_device: Sequence[int]
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.buffer_bits_per_device)
+
+    @property
+    def io_pads(self) -> int:
+        """MOSI/MISO pair per hop plus shared clock (no selects)."""
+        return 3
+
+    def shift_overhead_bits(self) -> int:
+        """Bits shifted before any payload lands where it belongs."""
+        return sum(self.buffer_bits_per_device)
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        return 8 * n_bytes + self.shift_overhead_bits()

@@ -1,0 +1,52 @@
+"""UART framing model (Figure 10 / Table 1).
+
+UART frames each byte with a start bit and one or two stop bits, so
+its overhead is proportional to message length: 2n bits with one stop
+bit, 3n with two (assuming 8-bit frames and no parity, as the paper
+does).  Point-to-point UART also scales badly in pads: every node
+pair needs its own TX/RX pair (2 x n in Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UARTLink:
+    """One UART configuration."""
+
+    stop_bits: int = 1
+    parity: bool = False
+    data_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.stop_bits not in (1, 2):
+            raise ValueError("stop_bits must be 1 or 2")
+        if self.data_bits != 8:
+            raise ValueError("the paper's comparison assumes 8-bit frames")
+
+    @property
+    def frame_overhead_bits(self) -> int:
+        """Start + stop (+ parity) bits per byte."""
+        return 1 + self.stop_bits + (1 if self.parity else 0)
+
+    def overhead_bits(self, n_bytes: int) -> int:
+        """Total non-payload bits for an n-byte message (Figure 10)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return self.frame_overhead_bits * n_bytes
+
+    def total_bits(self, n_bytes: int) -> int:
+        return (self.data_bits + self.frame_overhead_bits) * n_bytes
+
+    def efficiency(self, n_bytes: int) -> float:
+        """Payload fraction of transmitted bits."""
+        if n_bytes == 0:
+            return 0.0
+        return 8 * n_bytes / self.total_bits(n_bytes)
+
+    @staticmethod
+    def io_pads(n_nodes: int) -> int:
+        """Pairwise TX/RX lines: 2 x n (Table 1)."""
+        return 2 * n_nodes

@@ -1,0 +1,32 @@
+"""Bitbanged MBus on a commodity MCU (Section 6.6).
+
+An instruction-level cost model of an MSP430-class microcontroller
+executing the edge-service ISR of a GPIO MBus implementation: four
+GPIO pins, two with edge-triggered interrupts, worst-case path of
+20 instructions / 65 cycles including interrupt entry and exit, which
+at an 8 MHz system clock supports up to a 120 kHz MBus clock.  The
+Wikipedia I2C bitbang has a comparable longest path (21 instructions).
+"""
+
+from repro.bitbang.mcu import Branch, Instr, Msp430Costs, Program
+from repro.bitbang.mbus_bitbang import (
+    BitbangAnalysis,
+    analyze_i2c_bitbang,
+    analyze_mbus_bitbang,
+    i2c_bitbang_isr,
+    max_bus_clock_hz,
+    mbus_edge_isr,
+)
+
+__all__ = [
+    "Branch",
+    "Instr",
+    "Msp430Costs",
+    "Program",
+    "BitbangAnalysis",
+    "analyze_i2c_bitbang",
+    "analyze_mbus_bitbang",
+    "i2c_bitbang_isr",
+    "max_bus_clock_hz",
+    "mbus_edge_isr",
+]

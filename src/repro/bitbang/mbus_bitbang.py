@@ -1,0 +1,169 @@
+"""Bitbang MBus and I2C ISRs with worst-case path analysis (§6.6).
+
+The MBus C implementation needs only four GPIO pins (two with
+edge-triggered interrupts).  Its binding constraint is the time to
+drive an output in response to an input edge: the worst-case ISR path.
+The models below reconstruct representative MSP430 handlers; the MBus
+edge ISR's longest path is 20 instructions / 65 cycles including
+interrupt entry and exit, so an 8 MHz MSP430 sustains a 120 kHz MBus
+clock.  The Wikipedia I2C bitbang (stub reads/writes compiled to
+single-memory-operation MMIO accesses) has a comparable longest path
+of 21 instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitbang.mcu import Msp430Costs, Program, isr_wrap
+
+#: Paper reference values (Section 6.6).
+MBUS_WORST_PATH_INSTRUCTIONS = 20
+MBUS_WORST_PATH_CYCLES = 65
+I2C_WORST_PATH_INSTRUCTIONS = 21
+MSP430_CLOCK_HZ = 8_000_000
+SUPPORTED_MBUS_CLOCK_HZ = 120_000
+
+
+def mbus_edge_isr(costs: Msp430Costs = Msp430Costs()) -> Program:
+    """The CLK/DATA edge service routine of the MBus bitbang.
+
+    The worst path is a CLK falling edge while transmitting: fetch
+    state, shift the TX word, drive DATAOUT, maintain the bit counter.
+    """
+    # Shorter alternative paths at each fork.
+    data_edge = (
+        Program("data-edge")
+        .add("MOV &state, R14", costs.abs_reg)
+        .add("MOV R14, &rx_event", costs.reg_abs)
+    )
+    not_tx = Program("not-tx").add("JMP exit", costs.jump)
+    drive_low = (
+        Program("drive-low")
+        .add("BIC.B #DOUT, &P1OUT", costs.imm_abs)
+        .add("JMP cont", costs.jump)
+    )
+    drive_high = Program("drive-high").add("BIS.B #DOUT, &P1OUT", costs.imm_abs)
+    not_done = Program("not-done").add("JNZ exit2", costs.jump)
+    done = (
+        Program("done")
+        .add("JNZ exit2", costs.jump)
+        .add("MOV #ST_DONE, &state", costs.imm_abs)
+    )
+
+    clk_tx_path = (
+        Program("clk-tx")
+        .add("MOV &state, R14", costs.abs_reg)
+        .add("CMP #ST_TX, R14", costs.imm_reg)
+        .add("JNE exit", costs.jump)
+        .add("MOV &txshift, R12", costs.abs_reg)
+        .add("RLA R12", costs.reg_reg)
+        .add("MOV R12, &txshift", costs.reg_abs)
+        .add("JC high", costs.jump)
+        .fork(drive_low, drive_high)
+        .add("BIT #DIN, R15", costs.imm_reg)     # interjection guard
+        .add("DEC &bitcnt", costs.reg_abs)
+        .fork(done, not_done)
+    )
+
+    body = (
+        Program("mbus-edge")
+        .add("PUSH R15", costs.push)
+        .add("MOV &P1IV, R15", costs.abs_reg)
+        .add("BIC.B #CLK, &P1IFG", costs.imm_abs)
+        .add("BIT #CLK, R15", costs.imm_reg)
+        .add("JZ data_edge", costs.jump)
+        .fork(clk_tx_path, data_edge, not_tx)
+        .add("POP R15", costs.pop)
+    )
+    return isr_wrap(costs, body)
+
+
+def i2c_bitbang_isr(costs: Msp430Costs = Msp430Costs()) -> Program:
+    """Wikipedia's I2C master bitbang, worst path (write-bit + clock
+    stretch check), with stub functions converted to MMIO accesses."""
+    ack_branch = (
+        Program("read-ack")
+        .add("BIT.B #SDA, &P1IN", costs.abs_reg)
+        .add("JC nack", costs.jump)
+    )
+    no_ack = Program("no-ack").add("JMP cont", costs.jump)
+    body = (
+        Program("i2c-write-bit")
+        .add("PUSH R15", costs.push)
+        .add("MOV &byte, R15", costs.abs_reg)
+        .add("RLA R15", costs.reg_reg)
+        .add("MOV R15, &byte", costs.reg_abs)
+        .add("JC sda_high", costs.jump)
+        .add("BIC.B #SDA, &P1OUT", costs.imm_abs)   # set_SDA/clear_SDA
+        .add("JMP clk", costs.jump)
+        .add("CALL #delay", costs.call)             # I2C_delay()
+        .add("BIS.B #SCL, &P1OUT", costs.imm_abs)   # set_SCL
+        .add("MOV &P1IN, R14", costs.abs_reg)       # read_SCL (stretch)
+        .add("BIT #SCL, R14", costs.imm_reg)
+        .add("JZ stretch", costs.jump)
+        .add("CALL #delay", costs.call)
+        .add("BIC.B #SCL, &P1OUT", costs.imm_abs)   # clear_SCL
+        .add("DEC &bitcnt", costs.reg_abs)
+        .add("MOV &bitcnt, R13", costs.abs_reg)     # loop bookkeeping
+        .add("JNZ next", costs.jump)
+        .fork(ack_branch, no_ack)
+        .add("POP R15", costs.pop)
+    )
+    return isr_wrap(costs, body)
+
+
+@dataclass(frozen=True)
+class BitbangAnalysis:
+    """Worst-case path summary for one bitbanged protocol."""
+
+    name: str
+    worst_path_instructions: int
+    worst_path_cycles: int
+    cpu_clock_hz: float
+
+    @property
+    def response_time_us(self) -> float:
+        return self.worst_path_cycles / self.cpu_clock_hz * 1e6
+
+    @property
+    def max_bus_clock_hz(self) -> float:
+        """The bus clock the MCU can keep up with: it must service an
+        edge (and drive its response) within one bus clock period."""
+        return self.cpu_clock_hz / self.worst_path_cycles
+
+    @property
+    def supported_bus_clock_hz(self) -> int:
+        """Derated to a 10 kHz grid, as the paper quotes (120 kHz)."""
+        return int(self.max_bus_clock_hz // 10_000) * 10_000
+
+
+def max_bus_clock_hz(
+    cpu_clock_hz: float = MSP430_CLOCK_HZ, worst_path_cycles: int = None
+) -> float:
+    cycles = worst_path_cycles or mbus_edge_isr().worst_case_cycles()
+    return cpu_clock_hz / cycles
+
+
+def analyze_mbus_bitbang(
+    cpu_clock_hz: float = MSP430_CLOCK_HZ,
+) -> BitbangAnalysis:
+    isr = mbus_edge_isr()
+    return BitbangAnalysis(
+        name="MBus bitbang (MSP430)",
+        worst_path_instructions=isr.worst_case_instructions(),
+        worst_path_cycles=isr.worst_case_cycles(),
+        cpu_clock_hz=cpu_clock_hz,
+    )
+
+
+def analyze_i2c_bitbang(
+    cpu_clock_hz: float = MSP430_CLOCK_HZ,
+) -> BitbangAnalysis:
+    isr = i2c_bitbang_isr()
+    return BitbangAnalysis(
+        name="I2C bitbang (Wikipedia)",
+        worst_path_instructions=isr.worst_case_instructions(),
+        worst_path_cycles=isr.worst_case_cycles(),
+        cpu_clock_hz=cpu_clock_hz,
+    )

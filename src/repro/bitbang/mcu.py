@@ -1,0 +1,137 @@
+"""A tiny instruction-cost model of an MSP430-class MCU.
+
+Cycle counts follow the MSP430 CPU's addressing-mode table: register
+operations take 1 cycle, absolute/indexed source adds 2, absolute
+destination adds 3, jumps always take 2, push/pop and call/return have
+fixed costs, and interrupt entry is 6 cycles with RETI at 5.
+
+Programs are sequences of instructions and branches; the analysis
+computes the *longest* path (instructions and cycles), which is what
+bounds the achievable bus clock for a bitbanged protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Msp430Costs:
+    """Cycle costs for the MSP430 core (MSP430F1xx family)."""
+
+    reg_reg: int = 1          # MOV R4, R5
+    imm_reg: int = 2          # MOV #1, R5
+    abs_reg: int = 3          # MOV &addr, R5
+    reg_abs: int = 4          # MOV R5, &addr
+    abs_abs: int = 6          # MOV &a, &b
+    imm_abs: int = 5          # BIS.B #pin, &P1OUT
+    jump: int = 2             # all jumps, taken or not
+    push: int = 3
+    pop: int = 2
+    call: int = 5
+    ret: int = 3
+    interrupt_entry: int = 6
+    reti: int = 5
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction with a fixed cycle cost.
+
+    ``hardware`` marks CPU sequences (interrupt entry) that consume
+    cycles but are not instructions in the program text — the paper's
+    "65 cycles including interrupt entry and exit" counts their
+    cycles but not their opcodes.
+    """
+
+    mnemonic: str
+    cycles: int
+    hardware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError(f"{self.mnemonic}: cycles must be positive")
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A control-flow fork: execution takes exactly one alternative."""
+
+    alternatives: Tuple["Program", ...]
+
+    def worst(self) -> Tuple[int, int]:
+        """(instructions, cycles) of the costliest alternative."""
+        if not self.alternatives:
+            return (0, 0)
+        return max(
+            (p.worst_case_instructions(), p.worst_case_cycles())
+            for p in self.alternatives
+        )
+
+
+Element = Union[Instr, Branch]
+
+
+@dataclass
+class Program:
+    """A straight-line program with optional branch points."""
+
+    name: str
+    elements: List[Element] = field(default_factory=list)
+
+    def add(self, mnemonic: str, cycles: int, hardware: bool = False) -> "Program":
+        self.elements.append(Instr(mnemonic, cycles, hardware))
+        return self
+
+    def fork(self, *alternatives: "Program") -> "Program":
+        self.elements.append(Branch(tuple(alternatives)))
+        return self
+
+    # -- analysis ------------------------------------------------------------
+    def worst_case_cycles(self) -> int:
+        total = 0
+        for element in self.elements:
+            if isinstance(element, Instr):
+                total += element.cycles
+            else:
+                total += element.worst()[1]
+        return total
+
+    def worst_case_instructions(self) -> int:
+        total = 0
+        for element in self.elements:
+            if isinstance(element, Instr):
+                if not element.hardware:
+                    total += 1
+            else:
+                total += element.worst()[0]
+        return total
+
+    def flatten_worst_path(self) -> List[Instr]:
+        """The instruction sequence along the longest path."""
+        path: List[Instr] = []
+        for element in self.elements:
+            if isinstance(element, Instr):
+                path.append(element)
+            else:
+                best = max(
+                    element.alternatives,
+                    key=lambda p: (p.worst_case_cycles(), p.worst_case_instructions()),
+                )
+                path.extend(best.flatten_worst_path())
+        return path
+
+
+def isr_wrap(costs: Msp430Costs, body: Program) -> Program:
+    """Wrap a body in interrupt entry / RETI.
+
+    Entry and RETI are hardware sequences, booked as cycles on the
+    first/last 'instructions' of the handler the way the paper counts
+    them ("65 cycles including interrupt entry and exit").
+    """
+    isr = Program(f"{body.name}+isr")
+    isr.add("(interrupt entry)", costs.interrupt_entry, hardware=True)
+    isr.elements.extend(body.elements)
+    isr.add("RETI", costs.reti)
+    return isr

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the MBus reproduction."""
+
+
+class MBusError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(MBusError):
+    """A system was assembled in a way the MBus spec forbids.
+
+    Examples: two mediators, more than 14 short-prefixed nodes,
+    duplicate short prefixes without enumeration, zero nodes.
+    """
+
+
+class AddressError(MBusError):
+    """An address is malformed or outside its field's range."""
+
+
+class ProtocolError(MBusError):
+    """The bus observed a sequence of events the protocol forbids.
+
+    The edge-accurate simulator raises this instead of silently
+    mis-simulating — e.g. a node trying to transmit while a
+    transaction it is part of is still in flight.
+    """
+
+
+class BusLockedError(MBusError):
+    """A transaction failed to return the bus to idle.
+
+    The paper's fault-tolerance requirement says this must be
+    impossible for transient faults; the simulator raises it if a test
+    scenario ever produces a hung bus, making regressions loud.
+    """

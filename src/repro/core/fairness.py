@@ -1,0 +1,110 @@
+"""Fairness policies over mutable arbitration priority (Section 7).
+
+"MBus does not guarantee fairness (nor does I2C) ... If mutable
+priority is available, one fair scheme could automatically rotate
+priority on every message."  This module implements exactly that
+scheme on top of :meth:`MBusSystem.set_arbitration_anchor`, announcing
+each rotation on the broadcast configuration channel the way the
+runaway-length configuration travels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.addresses import Address
+from repro.core.bus import MBusSystem, TransactionResult
+
+#: Configuration-channel command: the next byte names the new anchor's
+#: short prefix (0 = revert to the mediator-anchored default).
+CMD_SET_ANCHOR = 0x02
+
+
+class RotatingPriority:
+    """Rotate the arbitration anchor across members on every message.
+
+    Parameters
+    ----------
+    system:
+        The bus to manage (built on attach).
+    members:
+        Names eligible to anchor, in rotation order.  Defaults to all
+        non-power-gated, non-mediator members (the anchor holds
+        always-on state).
+    announce:
+        When True, each rotation is also published as a broadcast on
+        the configuration channel, as the paper suggests for MBus
+        configuration state.  Announcements themselves complete as
+        transactions and therefore advance the rotation too — just as
+        they would on real hardware.
+    """
+
+    def __init__(
+        self,
+        system: MBusSystem,
+        members: Optional[List[str]] = None,
+        announce: bool = False,
+    ):
+        system.build()
+        self.system = system
+        self.announce = announce
+        if members is None:
+            members = [
+                node.name
+                for node in system.nodes
+                if not node.config.is_mediator and not node.config.power_gated
+            ]
+        if not members:
+            raise ValueError("rotating priority needs at least one member")
+        self.members = list(members)
+        self._index = 0
+        self.rotations = 0
+        self.wins_by_node: Dict[str, int] = {}
+        system.on_transaction_complete.append(self._on_transaction)
+        self._apply()
+
+    # -- policy ------------------------------------------------------------
+    @property
+    def current_anchor(self) -> str:
+        return self.members[self._index]
+
+    def _on_transaction(self, result: TransactionResult) -> None:
+        if result.tx_node is not None:
+            self.wins_by_node[result.tx_node] = (
+                self.wins_by_node.get(result.tx_node, 0) + 1
+            )
+        self.rotate()
+
+    def rotate(self) -> None:
+        """Advance to the next anchor (called after every message)."""
+        self._index = (self._index + 1) % len(self.members)
+        self.rotations += 1
+        self._apply()
+
+    def _apply(self) -> None:
+        self.system.set_arbitration_anchor(self.current_anchor)
+        if self.announce:
+            anchor_prefix = self.system.node(self.current_anchor).config.short_prefix
+            self.system.post(
+                self.system.mediator.name,
+                Address.broadcast(0),
+                bytes([CMD_SET_ANCHOR, anchor_prefix or 0]),
+            )
+
+    def detach(self) -> None:
+        """Stop rotating and restore the default priority scheme."""
+        self.system.on_transaction_complete.remove(self._on_transaction)
+        self.system.set_arbitration_anchor(None)
+
+
+def fairness_index(wins_by_node: Dict[str, int]) -> float:
+    """Jain's fairness index over per-node win counts (1.0 = fair)."""
+    values = [v for v in wins_by_node.values() if v >= 0]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return total * total / (len(values) * squares)

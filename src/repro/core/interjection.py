@@ -1,0 +1,59 @@
+"""Interjection detection: DATA toggles while CLK is held high.
+
+Section 4.9: "In normal MBus operation, DATA never toggles
+meaningfully without a CLK edge.  This allows us to design a reliable,
+independent interjection-detection module, essentially a saturating
+counter clocked by DATA and reset by CLK."
+
+The detector is part of a node's always-valid logic: it watches the
+node's DATA-in and CLK-in pads, counts DATA transitions, resets the
+count on any CLK transition, and fires a callback once the count
+saturates at the detection threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.constants import INTERJECTION_DETECT_TOGGLES
+from repro.sim.signals import EdgeType, Net
+
+
+class InterjectionDetector:
+    """Saturating counter clocked by DATA, reset by CLK."""
+
+    def __init__(
+        self,
+        data_in: Net,
+        clk_in: Net,
+        threshold: int = INTERJECTION_DETECT_TOGGLES,
+        on_detect: Optional[Callable[[], None]] = None,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = threshold
+        self.on_detect = on_detect
+        self.count = 0
+        self.detections = 0
+        self._armed = True
+        data_in.on_edge(self._on_data_edge)
+        clk_in.on_edge(self._on_clk_edge)
+
+    def _on_data_edge(self, _net: Net, _edge: EdgeType) -> None:
+        if self.count >= self.threshold:
+            return  # saturated
+        self.count += 1
+        if self.count >= self.threshold and self._armed:
+            self._armed = False
+            self.detections += 1
+            if self.on_detect is not None:
+                self.on_detect()
+
+    def _on_clk_edge(self, _net: Net, _edge: EdgeType) -> None:
+        self.count = 0
+        self._armed = True
+
+    @property
+    def detected(self) -> bool:
+        """True while the counter is saturated (until the next CLK edge)."""
+        return self.count >= self.threshold

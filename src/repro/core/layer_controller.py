@@ -1,0 +1,128 @@
+"""Generic layer controller: the register/memory face of a node.
+
+Figure 8: "The generic layer controller provides a simple
+register/memory interface for a node, but its design is not specific
+to MBus."  It is the blue (deepest-gated) power domain: powered only
+when the node is active.
+
+The functional-unit convention implemented here mirrors the released
+MBus ecosystem: FU-ID 0 carries register writes, FU-ID 1 carries
+memory writes, FU-ID 2 carries memory-read requests whose replies are
+sent back over the bus, and higher FU-IDs are free for
+application-defined handlers (e.g. the imager's frame buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import ProtocolError
+from repro.core.messages import ReceivedMessage
+
+FU_REGISTER = 0
+FU_MEMORY_WRITE = 1
+FU_MEMORY_READ = 2
+
+REGISTER_COUNT = 256
+REGISTER_WIDTH_BITS = 24           # REG_WR_DATA[23:0] in Figure 8
+
+
+@dataclass
+class RegisterWrite:
+    """One decoded register write: (address, 24-bit value)."""
+
+    address: int
+    value: int
+
+
+class GenericLayerController:
+    """Register file + memory + application handlers for one node.
+
+    Incoming messages are dispatched on the FU-ID of the address they
+    were sent to.  Application code may claim any FU-ID >= 3 with
+    :meth:`register_handler`, or observe everything via ``on_message``.
+    """
+
+    def __init__(self, memory_words: int = 1024):
+        self.registers: List[int] = [0] * REGISTER_COUNT
+        self.memory: List[int] = [0] * memory_words
+        self.inbox: List[ReceivedMessage] = []
+        self.register_writes: List[RegisterWrite] = []
+        self.malformed: List[ReceivedMessage] = []
+        self.on_message: Optional[Callable[[ReceivedMessage], None]] = None
+        self._handlers: Dict[int, Callable[[ReceivedMessage], None]] = {}
+        self._broadcast_handlers: Dict[int, Callable[[ReceivedMessage], None]] = {}
+
+    # -- application hooks ----------------------------------------------------
+    def register_handler(
+        self, fu_id: int, handler: Callable[[ReceivedMessage], None]
+    ) -> None:
+        """Claim a functional unit for an application handler."""
+        if fu_id in (FU_REGISTER, FU_MEMORY_WRITE, FU_MEMORY_READ):
+            raise ProtocolError(f"FU-ID {fu_id} is reserved by the layer controller")
+        self._handlers[fu_id] = handler
+
+    def register_broadcast_handler(
+        self, channel: int, handler: Callable[[ReceivedMessage], None]
+    ) -> None:
+        """Claim a broadcast channel (a separate namespace from
+        unicast FU-IDs: broadcast messages repurpose the FU-ID field
+        as a channel identifier, Section 4.6)."""
+        self._broadcast_handlers[channel] = handler
+
+    # -- delivery ---------------------------------------------------------------
+    def deliver(self, message: ReceivedMessage) -> None:
+        """Called by the bus controller when a message completes."""
+        self.inbox.append(message)
+        fu_id = message.dest.fu_id
+        if not message.broadcast:
+            # A real chip does not crash on a malformed frame; it
+            # records the fault and drops the payload.
+            try:
+                if fu_id == FU_REGISTER:
+                    self._apply_register_writes(message.payload)
+                elif fu_id == FU_MEMORY_WRITE:
+                    self._apply_memory_write(message.payload)
+                elif fu_id in self._handlers:
+                    self._handlers[fu_id](message)
+            except ProtocolError:
+                self.malformed.append(message)
+        elif fu_id in self._broadcast_handlers:
+            self._broadcast_handlers[fu_id](message)
+        if self.on_message is not None:
+            self.on_message(message)
+
+    # -- register interface -----------------------------------------------------
+    def _apply_register_writes(self, payload: bytes) -> None:
+        """Payload format: repeated 4-byte records [addr, d23:16, d15:8, d7:0]."""
+        if len(payload) % 4 != 0:
+            raise ProtocolError("register-write payload must be 4-byte records")
+        for i in range(0, len(payload), 4):
+            addr = payload[i]
+            value = int.from_bytes(payload[i + 1 : i + 4], "big")
+            self.registers[addr] = value
+            self.register_writes.append(RegisterWrite(addr, value))
+
+    # -- memory interface ---------------------------------------------------------
+    def _apply_memory_write(self, payload: bytes) -> None:
+        """Payload format: 4-byte word address then 32-bit big-endian words."""
+        if len(payload) < 4 or (len(payload) - 4) % 4 != 0:
+            raise ProtocolError("memory-write payload must be addr + whole words")
+        addr = int.from_bytes(payload[:4], "big")
+        words = [
+            int.from_bytes(payload[i : i + 4], "big")
+            for i in range(4, len(payload), 4)
+        ]
+        if addr + len(words) > len(self.memory):
+            raise ProtocolError(
+                f"memory write at {addr} for {len(words)} words overruns "
+                f"{len(self.memory)}-word memory"
+            )
+        for offset, word in enumerate(words):
+            self.memory[addr + offset] = word
+
+    def read_memory(self, addr: int, n_words: int) -> List[int]:
+        if addr + n_words > len(self.memory):
+            raise ProtocolError("memory read out of range")
+        return self.memory[addr : addr + n_words]

@@ -1,0 +1,260 @@
+"""Protocol conformance monitor: audit a simulated MBus system.
+
+A passive checker that inspects a system after traffic has run and
+verifies the invariants the specification promises.  Used by the test
+suite as a belt-and-braces layer over scenario-specific assertions,
+and available to library users debugging their own node behaviours.
+
+Checked rules (with their provenance):
+
+* **R1 idle-high** — in the idle state all nodes forward high CLK and
+  DATA (Section 4.3): after quiescence every ring segment rests at 1
+  and every controller is forwarding.
+* **R2 engines-idle** — the bus cannot be left in a locked-up state
+  (Section 3, fault tolerance).
+* **R3 control-coverage** — every transaction the mediator clocked
+  ended through exactly one interjection sequence followed by a
+  complete 2-bit control phase (Section 4.9).
+* **R4 cycle-arithmetic** — successful short/full-addressed
+  transactions clock exactly 3 + {8|32} + 8n cycles (Section 6.1).
+* **R5 byte-alignment** — receivers discard at most 7 bits per
+  observed interjection (Section 4.9).
+* **R6 wakeup-order** — every power-domain wakeup steps through
+  power gate -> clock -> isolation -> reset, in order (Section 3).
+* **R7 targeted-wakeup** — a node's layer wakes at most once per
+  transaction that addressed it or interrupt it raised (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.bus import MBusSystem
+from repro.core.bus_controller import Phase
+from repro.core.constants import (
+    ADDR_CYCLES_FULL,
+    ADDR_CYCLES_SHORT,
+    ARBITRATION_CYCLES,
+    WAKEUP_STEPS,
+)
+from repro.core.errors import ProtocolError
+from repro.core.mediator import MediatorPhase
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected protocol violation."""
+
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+class ProtocolMonitor:
+    """Post-hoc conformance auditor for one :class:`MBusSystem`."""
+
+    def __init__(self, system: MBusSystem):
+        self.system = system
+
+    # ------------------------------------------------------------------
+    def audit(self) -> List[Violation]:
+        """Run every rule; return all violations found."""
+        violations: List[Violation] = []
+        violations += self._rule_idle_high()
+        violations += self._rule_engines_idle()
+        violations += self._rule_control_coverage()
+        violations += self._rule_cycle_arithmetic()
+        violations += self._rule_byte_alignment()
+        violations += self._rule_wakeup_order()
+        violations += self._rule_targeted_wakeup()
+        return violations
+
+    def assert_clean(self) -> None:
+        """Raise :class:`ProtocolError` listing any violations."""
+        violations = self.audit()
+        if violations:
+            raise ProtocolError(
+                "protocol violations detected:\n"
+                + "\n".join(f"  {v}" for v in violations)
+            )
+
+    # ------------------------------------------------------------------
+    # R1: idle lines rest high and forwarding.
+    # ------------------------------------------------------------------
+    def _rule_idle_high(self) -> List[Violation]:
+        out = []
+        for node in self.system.nodes:
+            for net in (node.dout, node.clkout, node.din, node.clkin):
+                if net is not None and net.value != 1:
+                    out.append(
+                        Violation("R1.idle-high", net.name, "rests low at idle")
+                    )
+            for name, ctl in (("data", node.data_ctl), ("clk", node.clk_ctl)):
+                if ctl is not None and not ctl.forwarding:
+                    out.append(
+                        Violation(
+                            "R1.idle-high",
+                            f"{node.name}.{name}",
+                            "not forwarding at idle",
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    # R2: no locked-up engines.
+    # ------------------------------------------------------------------
+    def _rule_engines_idle(self) -> List[Violation]:
+        out = []
+        for node in self.system.nodes:
+            if node.engine.phase is not Phase.IDLE:
+                out.append(
+                    Violation(
+                        "R2.engines-idle",
+                        node.name,
+                        f"engine stuck in {node.engine.phase.value}",
+                    )
+                )
+        mediator = self.system.mediator.mediator
+        if mediator.phase is not MediatorPhase.IDLE:
+            out.append(
+                Violation(
+                    "R2.engines-idle",
+                    "mediator",
+                    f"mediator stuck in {mediator.phase.value}",
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # R3: one interjection + complete control per transaction.
+    # ------------------------------------------------------------------
+    def _rule_control_coverage(self) -> List[Violation]:
+        out = []
+        stats = self.system.mediator.mediator.stats
+        if stats.interjection_sequences != stats.transactions:
+            out.append(
+                Violation(
+                    "R3.control-coverage",
+                    "mediator",
+                    f"{stats.transactions} transactions but "
+                    f"{stats.interjection_sequences} interjection sequences",
+                )
+            )
+        for result in self.system.transactions:
+            if result.control_cycles != 3:
+                out.append(
+                    Violation(
+                        "R3.control-coverage",
+                        f"transaction {result.index}",
+                        f"control phase ran {result.control_cycles} cycles",
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # R4: successful transactions clock 3 + addr + 8n cycles.
+    # ------------------------------------------------------------------
+    def _rule_cycle_arithmetic(self) -> List[Violation]:
+        out = []
+        for result in self.system.transactions:
+            if not result.ok or result.message is None:
+                continue
+            addr = (
+                ADDR_CYCLES_SHORT
+                if result.message.dest.is_short
+                else ADDR_CYCLES_FULL
+            )
+            expected = ARBITRATION_CYCLES + addr + 8 * result.message.n_bytes
+            if result.clock_cycles != expected:
+                out.append(
+                    Violation(
+                        "R4.cycle-arithmetic",
+                        f"transaction {result.index}",
+                        f"clocked {result.clock_cycles}, expected {expected}",
+                    )
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # R5: receivers discard at most 7 bits per interjection.
+    # ------------------------------------------------------------------
+    def _rule_byte_alignment(self) -> List[Violation]:
+        out = []
+        for node in self.system.nodes:
+            stats = node.engine.stats
+            if stats.bits_discarded > 7 * max(stats.interjections_seen, 1):
+                out.append(
+                    Violation(
+                        "R5.byte-alignment",
+                        node.name,
+                        f"discarded {stats.bits_discarded} bits over "
+                        f"{stats.interjections_seen} interjections",
+                    )
+                )
+            for message in node.inbox:
+                if len(message.payload) * 8 % 8 != 0:   # defensive
+                    out.append(
+                        Violation(
+                            "R5.byte-alignment",
+                            node.name,
+                            "delivered a non-byte payload",
+                        )
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    # R6: wakeup sequences step in the canonical order.
+    # ------------------------------------------------------------------
+    def _rule_wakeup_order(self) -> List[Violation]:
+        expected = [f"release_{step}" for step in WAKEUP_STEPS]
+        out = []
+        for node in self.system.nodes:
+            for domain in (node.bus_domain, node.layer_domain):
+                steps = [
+                    e.action for e in domain.log if e.action.startswith("release")
+                ]
+                for start in range(0, len(steps), 4):
+                    window = steps[start : start + 4]
+                    if window != expected[: len(window)]:
+                        out.append(
+                            Violation(
+                                "R6.wakeup-order",
+                                domain.name,
+                                f"sequence {window} out of order",
+                            )
+                        )
+        return out
+
+    # ------------------------------------------------------------------
+    # R7: layers wake only when addressed or interrupted.
+    # ------------------------------------------------------------------
+    def _rule_targeted_wakeup(self) -> List[Violation]:
+        out = []
+        for node in self.system.nodes:
+            if not node.config.power_gated:
+                continue
+            # Upper bound: deliveries + own transmissions + interrupts
+            # (each may require one layer wakeup).
+            budget = len(node.inbox) + len(node.results) + self._interrupts(node)
+            if node.layer_domain.wake_count > budget:
+                out.append(
+                    Violation(
+                        "R7.targeted-wakeup",
+                        node.name,
+                        f"layer woke {node.layer_domain.wake_count} times "
+                        f"for {budget} addressed events",
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _interrupts(node) -> int:
+        return sum(
+            1
+            for event in node.layer_domain.log
+            if event.reason == "interrupt" and event.action == "on"
+        )

@@ -1,0 +1,352 @@
+"""Node shell: one MBus chip, composed of the Figure-8 modules.
+
+A node owns four pads (DATA-in/out, CLK-in/out), two line controllers
+(the always-on wire controller), an interjection detector, a sleep
+controller (wakeup sequencers over three power domains), an interrupt
+controller (null-transaction generator), a bus-controller engine, and
+a generic layer controller.
+
+Power domains follow Figure 8's colouring:
+
+* ``always_on``  — sleep + wire + interrupt controllers (green);
+* ``bus``        — bus controller, powered during transactions (red);
+* ``layer``      — layer controller + local clock, powered only while
+  the node is active (blue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core import constants
+from repro.core.addresses import Address
+from repro.core.bus_controller import (
+    EngineConfig,
+    EngineHooks,
+    MemberEngine,
+    Phase,
+    Role,
+    TxOutcome,
+)
+from repro.core.errors import ConfigurationError, ProtocolError
+from repro.core.interjection import InterjectionDetector
+from repro.core.layer_controller import GenericLayerController
+from repro.core.mediator import MediatorLogic
+from repro.core.messages import ControlCode, Message, ReceivedMessage
+from repro.core.power_domain import PowerDomain, WakeupSequencer
+from repro.core.wire_controller import LineController
+from repro.sim.scheduler import Simulator
+from repro.sim.signals import EdgeType, Net
+
+
+@dataclass
+class NodeConfig:
+    """Static configuration of one MBus node."""
+
+    name: str
+    short_prefix: Optional[int] = None
+    full_prefix: Optional[int] = None
+    broadcast_channels: frozenset = frozenset({0})
+    power_gated: bool = False
+    auto_sleep: Optional[bool] = None     # default: same as power_gated
+    rx_buffer_bytes: int = constants.MIN_MAX_MESSAGE_BYTES
+    ack_policy: Optional[Callable[[bytes], bool]] = None
+    memory_words: int = 1024
+    is_mediator: bool = False
+    #: Per-node forwarding delay override (ps).  Chips from different
+    #: processes (65/130/180 nm, FPGA) have different pad/mux delays;
+    #: the spec only requires each to stay under 10 ns (Section 6.5).
+    node_delay_ps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.short_prefix is None and self.full_prefix is None:
+            if not self.is_mediator:
+                raise ConfigurationError(
+                    f"node {self.name!r} needs a short or full prefix"
+                )
+        if self.auto_sleep is None:
+            self.auto_sleep = self.power_gated
+        if self.is_mediator and self.power_gated:
+            raise ConfigurationError(
+                "the mediator's frontend must be able to self-start; "
+                "model it as a non-power-gated node"
+            )
+
+
+class MBusNode:
+    """One chip on the ring.  Created by :class:`repro.core.bus.MBusSystem`."""
+
+    def __init__(self, sim: Simulator, timing: constants.MBusTiming, config: NodeConfig):
+        self.sim = sim
+        self.timing = timing
+        self.config = config
+        self.name = config.name
+
+        # Power domains (Figure 8 colouring).
+        self.always_on = PowerDomain(sim, f"{self.name}.always_on", always_on=True)
+        self.bus_domain = PowerDomain(sim, f"{self.name}.bus")
+        self.layer_domain = PowerDomain(sim, f"{self.name}.layer")
+        if not config.power_gated:
+            self.bus_domain.power_on("not-power-gated")
+            self.layer_domain.power_on("not-power-gated")
+
+        self.layer = GenericLayerController(memory_words=config.memory_words)
+        self.inbox: List[ReceivedMessage] = []
+        self.results: List[TxOutcome] = []
+        self.dropped: List[ReceivedMessage] = []
+        self.pending_interrupt = False
+        self.on_interrupt: Optional[Callable[["MBusNode"], None]] = None
+        self.on_result: Optional[Callable[["MBusNode", TxOutcome], None]] = None
+        self.on_receive: Optional[Callable[["MBusNode", ReceivedMessage], None]] = None
+
+        # Wired in attach().
+        self.din: Optional[Net] = None
+        self.dout: Optional[Net] = None
+        self.clkin: Optional[Net] = None
+        self.clkout: Optional[Net] = None
+        self.data_ctl: Optional[LineController] = None
+        self.clk_ctl: Optional[LineController] = None
+        self.detector: Optional[InterjectionDetector] = None
+        self.engine: Optional[MemberEngine] = None
+        self.mediator: Optional[MediatorLogic] = None
+
+        self._bus_seq = WakeupSequencer(self.bus_domain, on_awake=self._on_bus_awake)
+        self._layer_seq = WakeupSequencer(self.layer_domain)
+        self._null_pulse_active = False
+
+    # ------------------------------------------------------------------
+    # Ring attachment (called once by the system builder).
+    # ------------------------------------------------------------------
+    def attach(self, din: Net, dout: Net, clkin: Net, clkout: Net) -> None:
+        self.din, self.dout = din, dout
+        self.clkin, self.clkout = clkin, clkout
+        delay = self.config.node_delay_ps or self.timing.node_delay_ps
+        self.data_ctl = LineController(
+            din, dout, delay, self.timing.drive_delay_ps
+        )
+        self.clk_ctl = LineController(
+            clkin, clkout, delay, self.timing.drive_delay_ps
+        )
+        hooks = EngineHooks(
+            on_tx_done=self._on_tx_done,
+            on_rx_done=self._on_rx_done,
+            on_address_match=self._on_address_match,
+            on_transaction_end=self._on_transaction_end,
+            is_powered=lambda: self.bus_domain.is_on,
+            request_mediator_interjection=self._request_mediator_interjection,
+        )
+        self.engine = MemberEngine(
+            self.sim,
+            EngineConfig(
+                name=self.name,
+                short_prefix=self.config.short_prefix,
+                full_prefix=self.config.full_prefix,
+                broadcast_channels=frozenset(self.config.broadcast_channels),
+                rx_buffer_bytes=self.config.rx_buffer_bytes,
+                ack_policy=self.config.ack_policy,
+                is_mediator_member=self.config.is_mediator,
+            ),
+            self.data_ctl,
+            self.clk_ctl,
+            din,
+            hooks,
+        )
+        self.detector = InterjectionDetector(
+            din,
+            clkin,
+            threshold=self.timing.interjection_threshold,
+            on_detect=self._on_interjection_detected,
+        )
+        din.on_edge(self._on_din_edge)
+        clkin.on_edge(self._on_clk_edge)
+
+    def attach_mediator_logic(self, n_nodes_hint, on_complete) -> None:
+        """Instantiate the mediator FSM sharing this node's pads."""
+        if not self.config.is_mediator:
+            raise ConfigurationError(f"{self.name} is not the mediator node")
+        self.mediator = MediatorLogic(
+            self.sim,
+            self.timing,
+            self.data_ctl,
+            self.clk_ctl,
+            self.din,
+            self.clkin,
+            n_nodes_hint=n_nodes_hint,
+            member_requesting=lambda: self.engine.role is Role.REQUESTER,
+            on_complete=on_complete,
+        )
+
+    # ------------------------------------------------------------------
+    # Application API.
+    # ------------------------------------------------------------------
+    def post(self, message: Message) -> None:
+        """Queue a message; the node transmits it when it can.
+
+        If the node is asleep the interrupt controller raises a null
+        transaction first (Section 4.5) — the bus wakes the node, and
+        the queued message goes out on the following transaction.
+        """
+        self.engine.queue_message(message)
+        self._kick()
+
+    def trigger_interrupt(self) -> None:
+        """Assert the always-on interrupt port (Section 4.5)."""
+        self.pending_interrupt = True
+        if not self.engine.busy:
+            self._start_null_pulse()
+
+    def request_interjection(self, reason: str = "latency-sensitive") -> None:
+        """Kill the in-flight transaction from a third party (4.9).
+
+        "This allows a node with a latency-sensitive message to
+        interrupt an active transaction."  The request honours the
+        minimum-progress policy (Section 7) and takes effect at the
+        next latch edge once the winner has moved four bytes.
+        """
+        self.engine.request_interjection(reason)
+
+    def sleep(self) -> None:
+        """Power-gate the layer and bus domains (application decision)."""
+        if not self.config.power_gated:
+            raise ProtocolError(f"{self.name} is not a power-gated design")
+        if self.engine.busy:
+            raise ProtocolError("cannot sleep mid-transaction")
+        if self.layer_domain.is_on:
+            self.layer_domain.power_off("application-sleep")
+        if self.bus_domain.is_on:
+            self.bus_domain.power_off("application-sleep")
+
+    @property
+    def is_fully_awake(self) -> bool:
+        return self.bus_domain.is_on and self.layer_domain.is_on
+
+    # ------------------------------------------------------------------
+    # Wire events.
+    # ------------------------------------------------------------------
+    def _on_din_edge(self, _net: Net, edge: EdgeType) -> None:
+        if edge is EdgeType.FALLING and self.engine.phase is Phase.IDLE:
+            if not (self.config.is_mediator or self._null_pulse_active):
+                self.engine.on_data_falling_idle()
+                if not self.bus_domain.is_on:
+                    self._bus_seq.arm("transaction")
+
+    def _on_clk_edge(self, _net: Net, edge: EdgeType) -> None:
+        if self.config.is_mediator:
+            # The mediator node generates CLK; its member engine reacts
+            # to the returning edges like everyone else, but its sleep
+            # controller never gates the bus controller.
+            self.engine.on_clk_edge(edge)
+            return
+        if self._null_pulse_active and edge is EdgeType.FALLING:
+            # Null transaction: resume forwarding before the
+            # arbitration edge (Figure 6).
+            self.data_ctl.forward()
+            self._null_pulse_active = False
+        if not self.bus_domain.is_on:
+            self._bus_seq.arm("transaction")
+        self._bus_seq.edge()
+        self._layer_seq.edge()
+        self.engine.on_clk_edge(edge)
+
+    def _on_interjection_detected(self) -> None:
+        self.engine.on_interjection_detected()
+
+    # ------------------------------------------------------------------
+    # Engine hooks.
+    # ------------------------------------------------------------------
+    def _on_bus_awake(self) -> None:
+        if self.pending_interrupt:
+            self._layer_seq.arm("interrupt")
+
+    def _on_address_match(self, address: Address) -> None:
+        if not self.layer_domain.is_on:
+            self._layer_seq.arm("rx-wakeup")
+
+    def _on_rx_done(self, message: ReceivedMessage) -> None:
+        message.source_hint = ""
+        if self.layer_domain.is_on:
+            self.inbox.append(message)
+            self.layer.deliver(message)
+            if self.on_receive is not None:
+                self.on_receive(self, message)
+        else:
+            # Must be unreachable: the wakeup edges always suffice.
+            self.dropped.append(message)
+
+    def _on_tx_done(self, outcome: TxOutcome) -> None:
+        self.results.append(outcome)
+        if self.on_result is not None:
+            self.on_result(self, outcome)
+
+    def _request_mediator_interjection(self) -> None:
+        if self.mediator is None:
+            raise ProtocolError("member requested mediator interjection "
+                                "but no mediator logic is attached")
+        self.mediator.request_interjection_from_member()
+
+    def _on_transaction_end(self, code: ControlCode) -> None:
+        # Service a pending interrupt now that the wakeup edges ran.
+        if self.pending_interrupt and self.is_fully_awake:
+            self.pending_interrupt = False
+            if self.on_interrupt is not None:
+                self.on_interrupt(self)
+        if self.pending_interrupt and not self.engine.busy:
+            self._schedule(self._start_null_pulse)
+        if self.engine.has_pending:
+            self._schedule(self._try_request)
+            return
+        # Aggressive duty cycling: power-gated nodes return to sleep
+        # once nothing more is queued (Section 6.3.2's imager pattern).
+        if (
+            self.config.power_gated
+            and self.config.auto_sleep
+            and not self.pending_interrupt
+        ):
+            self._schedule(self._auto_sleep)
+
+    # ------------------------------------------------------------------
+    # Internal helpers.
+    # ------------------------------------------------------------------
+    def _settle_ps(self) -> int:
+        return 4 * self.timing.node_delay_ps
+
+    def _schedule(self, fn: Callable[[], None]) -> None:
+        self.sim.schedule(self._settle_ps(), fn)
+
+    def _kick(self) -> None:
+        if self.engine.busy:
+            return
+        if self.bus_domain.is_on and self.layer_domain.is_on:
+            self._schedule(self._try_request)
+        else:
+            self.trigger_interrupt()
+
+    def _try_request(self) -> None:
+        if not self.engine.has_pending:
+            return
+        if not (self.bus_domain.is_on and self.layer_domain.is_on):
+            self.trigger_interrupt()
+            return
+        if self.clkin.value != 1:
+            return  # a transaction is already clocking; retry at its end
+        # The engine itself decides whether the request window is
+        # still open (idle, or arbitration not yet clocked).
+        if self.engine.request_bus() and self.config.is_mediator:
+            self.mediator.start_for_member()
+
+    def _start_null_pulse(self) -> None:
+        if self.engine.busy or self._null_pulse_active:
+            return
+        self._null_pulse_active = True
+        self.data_ctl.drive(0)
+        if not self.bus_domain.is_on:
+            self._bus_seq.arm("interrupt")
+
+    def _auto_sleep(self) -> None:
+        if self.engine.busy or self.engine.has_pending or self.pending_interrupt:
+            return
+        if self.layer_domain.is_on:
+            self.layer_domain.power_off("auto-sleep")
+        if self.bus_domain.is_on:
+            self.bus_domain.power_off("auto-sleep")

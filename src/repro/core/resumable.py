@@ -1,0 +1,175 @@
+"""Resumable messages (Section 7, "Long Messages and Latency").
+
+"The design of MBus lends itself well to resuming an interrupted
+transmission (both TX and RX nodes know how far through a message
+they were) ... One idea is to leverage one or more functional units
+as well-known resumable message destinations to indicate to all nodes
+that this message may be opportunistically interrupted."
+
+This module implements that idea: functional unit 15 is the
+well-known resumable destination.  A transfer is chunked behind a
+small offset header; if a transaction is killed (third-party
+interjection, receiver abort, general error) the sender resumes from
+its conservative progress estimate, and the receiver reassembles by
+offset — tolerating overlap, since a resend may repeat bytes the
+receiver already holds.
+
+The paper also notes the costs: "nodes must have buffer(s) for
+multiple in-flight transactions and preserve state across
+transactions" — which is exactly the state these two classes carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.addresses import Address
+from repro.core.bus import MBusSystem
+from repro.core.errors import ProtocolError
+from repro.core.messages import Message, ReceivedMessage
+
+#: The well-known resumable functional unit.
+FU_RESUMABLE = 15
+
+#: Header: [stream_id, offset_hi, offset_mid, offset_lo]
+HEADER_BYTES = 4
+
+
+def _header(stream_id: int, offset: int) -> bytes:
+    if not 0 <= stream_id <= 0xFF:
+        raise ProtocolError("stream id must fit one byte")
+    if not 0 <= offset < (1 << 24):
+        raise ProtocolError("offset must fit 24 bits")
+    return bytes([stream_id]) + offset.to_bytes(3, "big")
+
+
+@dataclass
+class _Stream:
+    """Receiver-side reassembly state for one stream id."""
+
+    total: Optional[int] = None
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+
+    def add(self, offset: int, data: bytes) -> None:
+        self.chunks[offset] = data
+
+    def assembled(self) -> bytes:
+        """Merge chunks by offset; later writes win on overlap."""
+        if not self.chunks:
+            return b""
+        end = max(off + len(d) for off, d in self.chunks.items())
+        buffer = bytearray(end)
+        have = bytearray(end)
+        for offset in sorted(self.chunks):
+            data = self.chunks[offset]
+            buffer[offset : offset + len(data)] = data
+            have[offset : offset + len(data)] = b"\x01" * len(data)
+        if not all(have):
+            raise ProtocolError("stream has gaps; transfer incomplete")
+        return bytes(buffer)
+
+    def contiguous_prefix(self) -> int:
+        """Bytes received without gaps from offset 0."""
+        have = 0
+        for offset in sorted(self.chunks):
+            if offset > have:
+                break
+            have = max(have, offset + len(self.chunks[offset]))
+        return have
+
+
+class ResumableReceiver:
+    """Attach to a node to accept resumable transfers on FU 15."""
+
+    def __init__(self, node):
+        self.node = node
+        self.streams: Dict[int, _Stream] = {}
+        self.completed: Dict[int, bytes] = {}
+        self.on_complete: Optional[Callable[[int, bytes], None]] = None
+        node.layer.register_handler(FU_RESUMABLE, self._on_chunk)
+
+    def _on_chunk(self, message: ReceivedMessage) -> None:
+        payload = message.payload
+        if len(payload) < HEADER_BYTES:
+            return  # a truncated fragment that lost even its header
+        stream_id = payload[0]
+        offset = int.from_bytes(payload[1:4], "big")
+        data = payload[HEADER_BYTES:]
+        stream = self.streams.setdefault(stream_id, _Stream())
+        if data:
+            stream.add(offset, data)
+
+    def finish(self, stream_id: int) -> bytes:
+        """Close a stream and return the reassembled payload."""
+        stream = self.streams.pop(stream_id, None)
+        if stream is None:
+            raise ProtocolError(f"no stream {stream_id}")
+        payload = stream.assembled()
+        self.completed[stream_id] = payload
+        if self.on_complete is not None:
+            self.on_complete(stream_id, payload)
+        return payload
+
+    def progress(self, stream_id: int) -> int:
+        stream = self.streams.get(stream_id)
+        return stream.contiguous_prefix() if stream else 0
+
+
+class ResumableSender:
+    """Send a long payload as an interruptible, resumable stream."""
+
+    def __init__(self, system: MBusSystem, source: str):
+        self.system = system
+        self.source = source
+        self._next_stream = 0
+
+    def send(
+        self,
+        dest_prefix: int,
+        payload: bytes,
+        chunk_bytes: int = 256,
+        max_attempts: int = 64,
+    ) -> int:
+        """Deliver ``payload``, resuming across interruptions.
+
+        Returns the stream id.  Each attempt sends one chunk; a killed
+        chunk is retried from the sender's conservative progress
+        estimate (``TxOutcome.bytes_sent`` minus the header).
+        """
+        if chunk_bytes <= HEADER_BYTES:
+            raise ProtocolError("chunk size must exceed the header")
+        stream_id = self._next_stream & 0xFF
+        self._next_stream += 1
+        node = self.system.node(self.source)
+        offset = 0
+        attempts = 0
+        while offset < len(payload):
+            if attempts >= max_attempts:
+                raise ProtocolError(
+                    f"stream {stream_id} stalled after {attempts} attempts"
+                )
+            attempts += 1
+            data = payload[offset : offset + chunk_bytes - HEADER_BYTES]
+            message = Message(
+                dest=Address.short(dest_prefix, FU_RESUMABLE),
+                payload=_header(stream_id, offset) + data,
+            )
+            results_before = len(node.results)
+            node.post(message)
+            self.system.run_until_idle()
+            outcome = self._outcome_for(node, message, results_before)
+            if outcome is not None and outcome.success:
+                offset += len(data)
+            elif outcome is not None:
+                # Resume from confirmed progress within this chunk.
+                confirmed = max(0, outcome.bytes_sent - HEADER_BYTES)
+                offset += min(confirmed, len(data))
+        return stream_id
+
+    @staticmethod
+    def _outcome_for(node, message, results_before):
+        for outcome in node.results[results_before:]:
+            if outcome.message is message:
+                return outcome
+        return None

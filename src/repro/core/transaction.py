@@ -1,0 +1,163 @@
+"""Analytic transaction model: the paper's closed forms.
+
+Section 6.1 gives MBus's length-independent overhead (19 or 43 cycles)
+and Section 6.2 the per-message energy estimate::
+
+    E_message = [3.5 pJ * ({19 or 43} + 8 * n_bytes)] * n_chips
+
+This module implements those forms plus latency and bus-utilisation
+arithmetic.  The edge-accurate simulator is cross-validated against
+this model by the test suite; benchmarks use this model for wide
+parameter sweeps where simulating every edge would be wasteful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constants
+
+
+@dataclass(frozen=True)
+class TransactionCost:
+    """Cycle/time/energy cost of one MBus transaction."""
+
+    n_bytes: int
+    full_address: bool
+    n_chips: int
+    clock_hz: float
+    overhead_cycles: int
+    data_cycles: int
+    energy_pj: float
+
+    @property
+    def total_cycles(self) -> int:
+        return self.overhead_cycles + self.data_cycles
+
+    @property
+    def duration_s(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def overhead_bits(self) -> int:
+        """Protocol bits added on top of payload bits (Figure 10)."""
+        return self.overhead_cycles
+
+    @property
+    def goodput_bits(self) -> int:
+        return 8 * self.n_bytes
+
+    @property
+    def energy_per_goodput_bit_pj(self) -> float:
+        """Energy amortised over actual data bits (Figure 11b)."""
+        if self.n_bytes == 0:
+            return float("inf")
+        return self.energy_pj / self.goodput_bits
+
+
+class TransactionModel:
+    """Closed-form model of MBus transaction cost.
+
+    Parameters
+    ----------
+    clock_hz:
+        Bus clock frequency (default 400 kHz, the systems' default).
+    energy_per_bit_per_chip_pj:
+        Per-cycle, per-chip switching energy.  The paper's PrimeTime
+        simulation gives 3.5 pJ/bit/chip (Section 6.2); pass a
+        measured-mode value from :mod:`repro.power` to model real
+        hardware instead.
+    """
+
+    def __init__(
+        self,
+        clock_hz: float = constants.DEFAULT_CLOCK_HZ,
+        energy_per_bit_per_chip_pj: float = 3.5,
+    ):
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        self.clock_hz = clock_hz
+        self.energy_per_bit_per_chip_pj = energy_per_bit_per_chip_pj
+        self.overheads = constants.ProtocolOverheads()
+
+    # -- cycle arithmetic ---------------------------------------------------
+    def overhead_cycles(self, full_address: bool = False) -> int:
+        """19 cycles short-addressed, 43 full-addressed (Section 6.1)."""
+        return self.overheads.total(full_address)
+
+    def data_cycles(self, n_bytes: int) -> int:
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return 8 * n_bytes
+
+    def total_cycles(self, n_bytes: int, full_address: bool = False) -> int:
+        return self.overhead_cycles(full_address) + self.data_cycles(n_bytes)
+
+    # -- energy (Section 6.2) -------------------------------------------------
+    def message_energy_pj(
+        self, n_bytes: int, n_chips: int, full_address: bool = False
+    ) -> float:
+        """E = e_bit * (overhead + 8 n) * n_chips."""
+        if n_chips < 2:
+            raise ValueError("a transaction involves at least two chips")
+        cycles = self.total_cycles(n_bytes, full_address)
+        return self.energy_per_bit_per_chip_pj * cycles * n_chips
+
+    # -- time ----------------------------------------------------------------
+    def message_duration_s(self, n_bytes: int, full_address: bool = False) -> float:
+        return self.total_cycles(n_bytes, full_address) / self.clock_hz
+
+    def transactions_per_second(
+        self, n_bytes: int, full_address: bool = False
+    ) -> float:
+        """Saturating transaction rate (Figure 14)."""
+        return self.clock_hz / self.total_cycles(n_bytes, full_address)
+
+    def bus_utilization(
+        self,
+        n_bytes_sequence,
+        period_s: float,
+        full_address: bool = False,
+    ) -> float:
+        """Fraction of bus time used by the given messages per period.
+
+        Reproduces Section 6.3.1's 0.0022% figure for the temperature
+        sensor's request/response pair every 15 s at 400 kHz.
+        """
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        busy = sum(
+            self.message_duration_s(n, full_address) for n in n_bytes_sequence
+        )
+        return busy / period_s
+
+    # -- convenience ----------------------------------------------------------
+    def cost(
+        self, n_bytes: int, n_chips: int = 2, full_address: bool = False
+    ) -> TransactionCost:
+        """Bundle every cost metric for one transaction."""
+        return TransactionCost(
+            n_bytes=n_bytes,
+            full_address=full_address,
+            n_chips=n_chips,
+            clock_hz=self.clock_hz,
+            overhead_cycles=self.overhead_cycles(full_address),
+            data_cycles=self.data_cycles(n_bytes),
+            energy_pj=self.message_energy_pj(n_bytes, n_chips, full_address),
+        )
+
+
+def fragmentation_overhead_bits(
+    total_bytes: int, fragment_bytes: int, full_address: bool = False
+) -> int:
+    """Protocol bits for a payload split into fragments (Section 6.3.2).
+
+    Sending a 28.8 kB image as 160 x 180-byte rows costs
+    160 * 19 = 3,040 overhead bits versus 19 bits for one message —
+    an extra 3,021 bits, or 1.31 % of the image.
+    """
+    if fragment_bytes <= 0:
+        raise ValueError("fragment_bytes must be positive")
+    model = TransactionModel()
+    n_messages = -(-total_bytes // fragment_bytes)  # ceil division
+    return n_messages * model.overhead_cycles(full_address)

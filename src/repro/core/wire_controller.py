@@ -1,0 +1,86 @@
+"""Wire controller: the always-on shoot-through forwarding element.
+
+Section 4.1: with no local clock, the rings are "shoot-through" —
+signals pass through only a minimal amount of combinational logic from
+one node to the next.  Section 5 / Figure 8: the wire controller is one
+of the always-powered green modules (7 gates, 0 flip-flops in the
+paper's synthesis), a two-input mux per ring line:
+
+    OUT = forwarding ? IN : driven_value
+
+Switching between driving and forwarding may glitch the line
+momentarily; the paper notes such glitches "are resolved before the
+next rising clock edge" (Figure 5), which the event model reproduces
+via transition superseding in :class:`repro.sim.signals.Net`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.signals import EdgeType, Net
+
+
+class LineController:
+    """Forward-or-drive control for one ring line (CLK or DATA).
+
+    Parameters
+    ----------
+    in_net / out_net:
+        The node's IN pad net and OUT pad net for this ring line.
+    forward_delay_ps:
+        Node-to-node propagation delay through the forwarding mux,
+        pads, and bond wire (spec max 10 ns).
+    drive_delay_ps:
+        Pad driver delay when locally driving.
+    """
+
+    def __init__(
+        self,
+        in_net: Net,
+        out_net: Net,
+        forward_delay_ps: int,
+        drive_delay_ps: int,
+    ):
+        self.in_net = in_net
+        self.out_net = out_net
+        self.forward_delay_ps = forward_delay_ps
+        self.drive_delay_ps = drive_delay_ps
+        self.forwarding = True
+        self.driven_value = 1
+        #: count of output transitions while driving vs forwarding —
+        #: consumed by the activity-based power model.
+        self.forward_transitions = 0
+        self.drive_transitions = 0
+        in_net.on_edge(self._on_input_edge)
+        out_net.on_edge(self._on_output_edge)
+
+    # -- event plumbing -------------------------------------------------------
+    def _on_input_edge(self, net: Net, _edge: EdgeType) -> None:
+        if self.forwarding:
+            self.out_net.set(net.value, delay=self.forward_delay_ps)
+
+    def _on_output_edge(self, _net: Net, _edge: EdgeType) -> None:
+        if self.forwarding:
+            self.forward_transitions += 1
+        else:
+            self.drive_transitions += 1
+
+    # -- mode control -----------------------------------------------------------
+    def forward(self) -> None:
+        """Resume forwarding: output snaps to (delayed) input value."""
+        self.forwarding = True
+        self.out_net.set(self.in_net.value, delay=self.forward_delay_ps)
+
+    def drive(self, value: int) -> None:
+        """Break the ring and drive ``value`` onto the output."""
+        self.forwarding = False
+        self.driven_value = 1 if value else 0
+        self.out_net.set(self.driven_value, delay=self.drive_delay_ps)
+
+    def hold(self) -> None:
+        """Break the ring, freezing the output at its current value.
+
+        This is how a node requests an interjection on the CLK line:
+        it simply stops forwarding while CLK is high (Section 4.9).
+        """
+        self.forwarding = False
+        self.driven_value = self.out_net.value

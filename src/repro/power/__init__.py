@@ -1,0 +1,45 @@
+"""Power and energy models for MBus systems (Section 6.2).
+
+Three models at different fidelity levels:
+
+* :class:`~repro.power.energy_model.SimulatedEnergyModel` — the
+  paper's PrimeTime-style estimate: 3.5 pJ/bit/chip active,
+  5.6 pW/chip idle.
+* :class:`~repro.power.energy_model.MeasuredEnergyModel` — the
+  paper's empirical per-role measurements (Table 3): 27.45 pJ/bit for
+  a sending member+mediator, 22.71 pJ/bit receiving, 17.55 pJ/bit
+  forwarding, ~6.5x above simulation due to un-isolatable system
+  overhead.
+* :class:`~repro.power.energy_model.ActivityEnergyModel` — CV²
+  switching arithmetic over the edge-accurate simulator's recorded
+  wire transitions (2 pF/pad, 0.25 pF/wire, 1.2 V — the paper's
+  simulation parameters).
+"""
+
+from repro.power.accounting import EnergyLedger
+from repro.power.battery import Battery
+from repro.power.energy_model import (
+    ActivityEnergyModel,
+    MBUS_IDLE_PW_PER_CHIP,
+    MeasuredEnergyModel,
+    RoleEnergy,
+    SimulatedEnergyModel,
+)
+from repro.power.power_states import (
+    StandbyProfile,
+    TEMPERATURE_SYSTEM_STANDBY_NW,
+    system_standby_nw,
+)
+
+__all__ = [
+    "EnergyLedger",
+    "Battery",
+    "ActivityEnergyModel",
+    "MeasuredEnergyModel",
+    "SimulatedEnergyModel",
+    "RoleEnergy",
+    "MBUS_IDLE_PW_PER_CHIP",
+    "StandbyProfile",
+    "TEMPERATURE_SYSTEM_STANDBY_NW",
+    "system_standby_nw",
+]

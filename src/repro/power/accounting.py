@@ -1,0 +1,70 @@
+"""Energy ledger: named energy contributions for a scenario.
+
+Used by the microbenchmark systems (Section 6.3) to break a
+"sense and send" event into its parts — bus transfers, processor
+cycles, sensing, radio — the way the paper's arithmetic does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+
+class EnergyLedger:
+    """An ordered map of contribution name -> energy in nanojoules."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[str, float]" = OrderedDict()
+
+    def add(self, name: str, energy_nj: float) -> None:
+        """Accumulate ``energy_nj`` under ``name``."""
+        if energy_nj < 0:
+            raise ValueError("energy contributions must be non-negative")
+        self._entries[name] = self._entries.get(name, 0.0) + energy_nj
+
+    def __getitem__(self, name: str) -> float:
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self._entries.items())
+
+    @property
+    def total_nj(self) -> float:
+        return sum(self._entries.values())
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj * 1e-3
+
+    def fraction(self, name: str) -> float:
+        """Share of the total contributed by one entry."""
+        total = self.total_nj
+        if total == 0:
+            return 0.0
+        return self._entries.get(name, 0.0) / total
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._entries)
+
+    def merge(self, other: "EnergyLedger") -> "EnergyLedger":
+        """Return a new ledger combining both sets of entries."""
+        merged = EnergyLedger()
+        for name, value in self:
+            merged.add(name, value)
+        for name, value in other:
+            merged.add(name, value)
+        return merged
+
+    def summary(self) -> str:
+        """Human-readable breakdown, largest contribution first."""
+        lines = [f"total: {self.total_nj:10.2f} nJ"]
+        for name, value in sorted(
+            self._entries.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * self.fraction(name)
+            lines.append(f"  {name:<28s} {value:10.2f} nJ  ({share:5.1f}%)")
+        return "\n".join(lines)

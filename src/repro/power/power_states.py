@@ -1,0 +1,49 @@
+"""System standby power accounting (Sections 3 and 6.2).
+
+The paper's standby requirement is < 100 pW for the interconnect
+itself; the realised three-chip temperature system idles at 8 nW
+total, "three orders of magnitude above the expected static leakage
+of MBus (5.6 pW)", so MBus contributes negligibly to standby.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.power.energy_model import MBUS_IDLE_PW_PER_CHIP
+
+#: Measured idle power of the 3-chip temperature system (Section 6.2).
+TEMPERATURE_SYSTEM_STANDBY_NW = 8.0
+
+#: Requirement from Section 3 ("any new bus must draw less than
+#: 100 pW to be competitive").
+STANDBY_REQUIREMENT_PW = 100.0
+
+
+@dataclass(frozen=True)
+class StandbyProfile:
+    """Standby draw of one chip, split into MBus and non-MBus parts."""
+
+    name: str
+    chip_standby_nw: float
+    mbus_idle_pw: float = MBUS_IDLE_PW_PER_CHIP
+
+    @property
+    def total_nw(self) -> float:
+        return self.chip_standby_nw + self.mbus_idle_pw * 1e-3
+
+    @property
+    def mbus_fraction(self) -> float:
+        """Fraction of chip standby attributable to MBus."""
+        return (self.mbus_idle_pw * 1e-3) / self.total_nw
+
+
+def system_standby_nw(profiles: Iterable[StandbyProfile]) -> float:
+    """Total standby power of a stack of chips, in nW."""
+    return sum(p.total_nw for p in profiles)
+
+
+def mbus_standby_meets_requirement(n_chips: int) -> bool:
+    """Does an n-chip MBus meet the < 100 pW interconnect budget?"""
+    return MBUS_IDLE_PW_PER_CHIP * n_chips < STANDBY_REQUIREMENT_PW

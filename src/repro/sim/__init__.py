@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate for digital logic.
+
+This package provides the event-driven machinery on which the
+edge-accurate MBus model (:mod:`repro.core`) runs:
+
+* :class:`~repro.sim.scheduler.Simulator` — a time-ordered event queue
+  with deterministic tie-breaking.
+* :class:`~repro.sim.signals.Net` — a single-driver digital net whose
+  transitions fire edge callbacks, and which can be chained to other
+  nets through propagation delays (modelling bond wires / pad drivers).
+* :class:`~repro.sim.tracer.Tracer` — a VCD-style transition recorder
+  used by tests and examples to inspect waveforms.
+
+The substrate is deliberately tiny and dependency-free; everything is
+pure Python so that the protocol logic stays easy to audit against the
+paper's waveform figures (Figs. 5-7).
+"""
+
+from repro.sim.scheduler import Event, Simulator, SimulationError
+from repro.sim.signals import Net, EdgeType
+from repro.sim.tracer import Tracer, Transition
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Net",
+    "EdgeType",
+    "Tracer",
+    "Transition",
+]

@@ -1,0 +1,112 @@
+"""Digital nets with propagation delay and edge callbacks.
+
+A :class:`Net` models one electrical node of the MBus ring — e.g. the
+segment of the DATA ring between node *i*'s DOUT pad and node *i+1*'s
+DIN pad.  A net holds a binary value, notifies listeners on every
+transition, and can be *chained* to downstream nets with a fixed
+propagation delay (wire + pad + receiver buffer).
+
+Only one agent should logically drive a net at a time; MBus guarantees
+this structurally (each ring segment has exactly one upstream driver).
+The net itself does not arbitrate — it simply takes the last scheduled
+transition, which mirrors how a totem-pole driver overwrites the wire.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.sim.scheduler import Simulator
+
+
+class EdgeType(enum.Enum):
+    """Classification of a net transition."""
+
+    RISING = "rising"
+    FALLING = "falling"
+
+    @staticmethod
+    def of(old: int, new: int) -> "EdgeType":
+        return EdgeType.RISING if new > old else EdgeType.FALLING
+
+
+#: Signature of an edge callback: ``fn(net, edge_type)``.
+EdgeCallback = Callable[["Net", EdgeType], None]
+
+
+class Net:
+    """A single binary net with delayed fan-out.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator (supplies time and the event queue).
+    name:
+        Hierarchical name, e.g. ``"n2.dout"``; used by tracers.
+    initial:
+        Idle MBus lines rest high, so the default is 1.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_listeners", "_pending")
+
+    def __init__(self, sim: Simulator, name: str, initial: int = 1):
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self._listeners: List[EdgeCallback] = []
+        self._pending = None  # type: Optional[object]
+
+    @property
+    def value(self) -> int:
+        """Current logic level (0 or 1)."""
+        return self._value
+
+    def on_edge(self, fn: EdgeCallback) -> None:
+        """Register ``fn`` to be called on every transition."""
+        self._listeners.append(fn)
+
+    def set(self, value: int, delay: int = 0) -> None:
+        """Drive the net to ``value`` after ``delay`` picoseconds.
+
+        A later ``set`` supersedes an earlier pending one (the driver
+        changed its mind before the wire settled) — this resolves the
+        momentary glitches the paper notes occur when nodes switch
+        between driving and forwarding.
+        """
+        value = 1 if value else 0
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if delay == 0:
+            self._apply(value)
+        else:
+            self._pending = self.sim.schedule(delay, lambda: self._apply(value))
+
+    def _apply(self, value: int) -> None:
+        self._pending = None
+        if value == self._value:
+            return
+        old = self._value
+        self._value = value
+        edge = EdgeType.of(old, value)
+        for fn in list(self._listeners):
+            fn(self, edge)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Net {self.name}={self._value}>"
+
+
+def connect(upstream: Net, downstream: Net, delay: int) -> None:
+    """Propagate transitions on ``upstream`` to ``downstream``.
+
+    This models a passive wire of fixed delay.  MBus nodes do *not* use
+    this for forwarding (forwarding goes through the node's wire
+    controller, which may break the chain); it exists for testbench
+    plumbing such as probing a ring segment from two observers.
+    """
+
+    def _relay(net: Net, _edge: EdgeType) -> None:
+        downstream.set(net.value, delay=delay)
+
+    upstream.on_edge(_relay)

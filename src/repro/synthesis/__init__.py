@@ -1,0 +1,21 @@
+"""Synthesis area estimation for Table 2."""
+
+from repro.synthesis.area_model import (
+    AreaLibrary,
+    MBUS_MODULES,
+    MBUS_TOTAL,
+    ModuleSynthesis,
+    OTHER_BUSES,
+    fit_area_library,
+    mbus_total_area_um2,
+)
+
+__all__ = [
+    "AreaLibrary",
+    "MBUS_MODULES",
+    "MBUS_TOTAL",
+    "ModuleSynthesis",
+    "OTHER_BUSES",
+    "fit_area_library",
+    "mbus_total_area_um2",
+]

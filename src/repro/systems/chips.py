@@ -1,0 +1,192 @@
+"""Behavioural chip models for the microbenchmark systems.
+
+Each chip attaches to an :class:`~repro.core.node.MBusNode` and reacts
+to messages on an application functional unit, exactly the way the
+paper's systems compose: the processor requests a reading and names
+the destination; the sensor replies *directly to the radio* without
+waking the processor (Section 6.3.1); the imager's always-on motion
+detector asserts the node's interrupt port to wake the chip
+(Section 6.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.addresses import Address
+from repro.core.messages import Message, ReceivedMessage
+from repro.core.node import MBusNode
+
+#: Application functional unit used by the behavioural chips.
+FU_APP = 4
+
+CMD_SAMPLE_REQUEST = 0x10
+CMD_SAMPLE_REPLY = 0x11
+CMD_RADIO_TX = 0x20
+CMD_FRAME_ROW = 0x30
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """ARM Cortex-M0 cost parameters (Section 6.3.1).
+
+    "Our processor uses ~20 pJ/cycle and requires ~50 cycles to handle
+    an interrupt and copy an 8 byte message to be sent again, using
+    50 cycles x 20 pJ/cycle = 1 nJ."
+    """
+
+    pj_per_cycle: float = 20.0
+    relay_handler_cycles: int = 50
+
+    @property
+    def relay_energy_nj(self) -> float:
+        return self.relay_handler_cycles * self.pj_per_cycle * 1e-3
+
+
+class TemperatureSensorChip:
+    """Ultra-low power temperature sensor (Figure 12).
+
+    A 4-byte sample request names the prefix and FU the 8-byte reply
+    should go to, so replies can bypass the processor entirely:
+    ``[CMD_SAMPLE_REQUEST, dest_prefix, dest_fu, seq]``.
+    """
+
+    def __init__(self, node: MBusNode, base_kelvin_centi: int = 29_815):
+        self.node = node
+        self.base_kelvin_centi = base_kelvin_centi
+        self.samples_taken = 0
+        self.requests: List[bytes] = []
+        node.layer.register_handler(FU_APP, self._on_request)
+
+    def _on_request(self, message: ReceivedMessage) -> None:
+        payload = message.payload
+        if len(payload) != 4 or payload[0] != CMD_SAMPLE_REQUEST:
+            return
+        dest_prefix, dest_fu, seq = payload[1], payload[2], payload[3]
+        self.requests.append(bytes(payload))
+        reading = self.read_temperature()
+        reply = (
+            bytes([CMD_SAMPLE_REPLY, seq])
+            + reading.to_bytes(4, "big")
+            + self.samples_taken.to_bytes(2, "big")
+        )
+        assert len(reply) == 8, "the paper's response is 8 bytes"
+        self.node.post(
+            Message(dest=Address.short(dest_prefix, dest_fu), payload=reply)
+        )
+
+    def read_temperature(self) -> int:
+        """Deterministic synthetic reading in centi-kelvin."""
+        self.samples_taken += 1
+        # A slow drift plus a small periodic term: reproducible but
+        # non-constant, standing in for a real transducer.
+        wiggle = (self.samples_taken * 7) % 23 - 11
+        return self.base_kelvin_centi + wiggle
+
+
+class RadioChip:
+    """900 MHz near-field radio: accumulates packets handed to it."""
+
+    def __init__(self, node: MBusNode, nj_per_transmitted_byte: float = 10.0):
+        self.node = node
+        self.nj_per_transmitted_byte = nj_per_transmitted_byte
+        self.transmitted: List[bytes] = []
+        node.layer.register_handler(FU_APP, self._on_packet)
+
+    def _on_packet(self, message: ReceivedMessage) -> None:
+        self.transmitted.append(bytes(message.payload))
+
+    @property
+    def transmitted_bytes(self) -> int:
+        return sum(len(p) for p in self.transmitted)
+
+    def radio_energy_nj(self) -> float:
+        return self.transmitted_bytes * self.nj_per_transmitted_byte
+
+
+class ImagerChip:
+    """160x160-pixel, 9-bit grayscale imager with motion detection.
+
+    Like most CMOS imagers the camera reads pixels out one row at a
+    time and sends each row as a separate MBus message (Section
+    6.3.2).  Frames are synthetic but deterministic; the motion
+    detector compares successive frames' region sums, standing in for
+    the paper's always-on analog motion frontend.
+    """
+
+    ROWS = 160
+    COLS = 160
+    BITS_PER_PIXEL = 9
+
+    def __init__(
+        self,
+        node: MBusNode,
+        radio_prefix: int,
+        rows: Optional[int] = None,
+        motion_threshold: int = 1000,
+    ):
+        self.node = node
+        self.radio_prefix = radio_prefix
+        self.rows = rows if rows is not None else self.ROWS
+        self.motion_threshold = motion_threshold
+        self.frames_captured = 0
+        self.rows_sent = 0
+        self._previous_sums: Optional[List[int]] = None
+        node.on_interrupt = self._on_motion_interrupt
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def row_bits(self) -> int:
+        return self.COLS * self.BITS_PER_PIXEL      # 1,440 bits
+
+    @property
+    def row_bytes(self) -> int:
+        return self.row_bits // 8                    # 180 bytes
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.rows * self.row_bytes            # 28,800 at full size
+
+    # -- synthetic sensor ---------------------------------------------------
+    def capture_row(self, row: int) -> bytes:
+        """One row, 9-bit pixels packed MSB-first into 180 bytes."""
+        self.frames_captured_pixels = True
+        bits: List[int] = []
+        seed = (self.frames_captured * 7919 + row * 104729) & 0x1FF
+        for col in range(self.COLS):
+            pixel = (seed + row + 3 * col) % 512     # 9-bit value
+            for i in range(self.BITS_PER_PIXEL - 1, -1, -1):
+                bits.append((pixel >> i) & 1)
+        packed = bytearray()
+        for i in range(0, len(bits), 8):
+            byte = 0
+            for bit in bits[i : i + 8]:
+                byte = (byte << 1) | bit
+            packed.append(byte)
+        return bytes(packed)
+
+    def detect_motion(self, frame_region_sums: List[int]) -> bool:
+        """Always-on motion frontend: region-sum deltas vs last frame."""
+        if self._previous_sums is None:
+            self._previous_sums = frame_region_sums
+            return False
+        delta = sum(
+            abs(a - b) for a, b in zip(frame_region_sums, self._previous_sums)
+        )
+        self._previous_sums = frame_region_sums
+        return delta > self.motion_threshold
+
+    # -- event flow ---------------------------------------------------------
+    def _on_motion_interrupt(self, node: MBusNode) -> None:
+        """Motion woke the chip: capture a frame and stream the rows."""
+        self.capture_and_send()
+
+    def capture_and_send(self) -> None:
+        self.frames_captured += 1
+        for row in range(self.rows):
+            payload = bytes([CMD_FRAME_ROW, row]) + self.capture_row(row)
+            self.node.post(
+                Message(dest=Address.short(self.radio_prefix, FU_APP), payload=payload)
+            )
+            self.rows_sent += 1

@@ -1,0 +1,33 @@
+"""Timing, overhead, and throughput analysis (Figures 9, 10, 14, 15)."""
+
+from repro.timing.overhead import (
+    OVERHEAD_CURVES,
+    crossover_payload_bytes,
+    overhead_bits,
+)
+from repro.timing.ring_timing import (
+    MAX_NODE_TO_NODE_DELAY_NS,
+    max_clock_hz,
+    max_clock_mhz_series,
+    max_nodes_at_clock,
+)
+from repro.timing.throughput import (
+    parallel_goodput_bps,
+    parallel_goodput_series,
+    transaction_rate_hz,
+    transaction_rate_series,
+)
+
+__all__ = [
+    "OVERHEAD_CURVES",
+    "crossover_payload_bytes",
+    "overhead_bits",
+    "MAX_NODE_TO_NODE_DELAY_NS",
+    "max_clock_hz",
+    "max_clock_mhz_series",
+    "max_nodes_at_clock",
+    "parallel_goodput_bps",
+    "parallel_goodput_series",
+    "transaction_rate_hz",
+    "transaction_rate_series",
+]

@@ -1,0 +1,69 @@
+"""Protocol overhead comparison: Figure 10.
+
+Overhead (non-payload bits) as a function of message length for every
+bus in the figure.  MBus's overhead is length independent (19 bits
+short-addressed, 43 full), so it crosses below the length-
+proportional protocols: below 2-stop-bit UART after 7 bytes and below
+I2C / 1-stop-bit UART after 9 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.constants import OVERHEAD_CYCLES_FULL, OVERHEAD_CYCLES_SHORT
+
+#: name -> overhead_bits(n_bytes), exactly the Figure 10 legend.
+OVERHEAD_CURVES: Dict[str, Callable[[int], int]] = {
+    "UART (1-bit stop)": lambda n: 2 * n,
+    "UART (2-bit stop)": lambda n: 3 * n,
+    "I2C": lambda n: 10 + n,
+    "SPI": lambda n: 2,
+    "MBus (short)": lambda n: OVERHEAD_CYCLES_SHORT,
+    "MBus (full)": lambda n: OVERHEAD_CYCLES_FULL,
+}
+
+
+def overhead_bits(bus: str, n_bytes: int) -> int:
+    """Overhead of one named bus for an n-byte message."""
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    try:
+        return OVERHEAD_CURVES[bus](n_bytes)
+    except KeyError:
+        raise KeyError(
+            f"unknown bus {bus!r}; choose from {sorted(OVERHEAD_CURVES)}"
+        ) from None
+
+
+def overhead_series(
+    buses: Optional[Sequence[str]] = None,
+    lengths: Sequence[int] = tuple(range(0, 41, 2)),
+) -> Dict[str, List[Tuple[int, int]]]:
+    """The Figure 10 data: per-bus (length, overhead) series."""
+    names = list(buses) if buses is not None else list(OVERHEAD_CURVES)
+    return {
+        name: [(n, overhead_bits(name, n)) for n in lengths] for name in names
+    }
+
+
+def crossover_payload_bytes(
+    reference: str = "MBus (short)", other: str = "I2C", max_bytes: int = 4096
+) -> Optional[int]:
+    """Smallest payload where ``reference`` has strictly lower overhead.
+
+    ``crossover_payload_bytes("MBus (short)", "I2C")`` returns 10:
+    MBus is "more efficient than I2C ... after 9 bytes."
+    """
+    for n in range(0, max_bytes + 1):
+        if overhead_bits(reference, n) < overhead_bits(other, n):
+            return n
+    return None
+
+
+def efficiency(bus: str, n_bytes: int) -> float:
+    """Payload bits as a fraction of all bits moved."""
+    if n_bytes == 0:
+        return 0.0
+    payload = 8 * n_bytes
+    return payload / (payload + overhead_bits(bus, n_bytes))

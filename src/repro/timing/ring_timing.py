@@ -1,0 +1,59 @@
+"""Ring propagation timing: maximum bus clock vs node count (Fig. 9).
+
+"Because MBus is a ring, as the number of nodes increases, so does
+the propagation delay around the ring.  The MBus specification
+defines a maximum node-to-node delay of 10 ns ... a 14-node MBus
+system can run at up to 7.1 MHz."  The figure's curve is the clock
+whose period equals the worst-case ring traversal:
+
+    f_max(n) = 1 / (n * t_node)
+
+which gives 50 MHz at 2 nodes and 7.14 MHz at the 14-node maximum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.constants import (
+    MAX_NODE_TO_NODE_DELAY_NS,
+    MAX_SHORT_ADDRESSED_NODES,
+)
+
+
+def max_clock_hz(
+    n_nodes: int, node_delay_ns: float = MAX_NODE_TO_NODE_DELAY_NS
+) -> float:
+    """Peak bus clock for a ring of ``n_nodes``."""
+    if n_nodes < 2:
+        raise ValueError("a ring has at least two nodes")
+    if node_delay_ns <= 0:
+        raise ValueError("node delay must be positive")
+    return 1e9 / (n_nodes * node_delay_ns)
+
+
+def max_clock_mhz_series(
+    node_counts: Sequence[int] = tuple(range(2, MAX_SHORT_ADDRESSED_NODES + 1)),
+    node_delay_ns: float = MAX_NODE_TO_NODE_DELAY_NS,
+) -> List[Tuple[int, float]]:
+    """(n, f_max in MHz) pairs — the Figure 9 series."""
+    return [
+        (n, max_clock_hz(n, node_delay_ns) / 1e6) for n in node_counts
+    ]
+
+
+def max_nodes_at_clock(
+    clock_hz: float, node_delay_ns: float = MAX_NODE_TO_NODE_DELAY_NS
+) -> int:
+    """Largest ring that still meets timing at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError("clock must be positive")
+    n = int(1e9 / (clock_hz * node_delay_ns))
+    return max(n, 0)
+
+
+def ring_delay_ns(
+    n_nodes: int, node_delay_ns: float = MAX_NODE_TO_NODE_DELAY_NS
+) -> float:
+    """Worst-case one-lap propagation delay."""
+    return n_nodes * node_delay_ns

@@ -1,0 +1,108 @@
+"""Transaction rate and parallel-MBus goodput (Figures 14 and 15).
+
+Figure 14: as a shared medium, MBus supports a finite aggregate
+transaction rate — the bus clock divided by the per-transaction cycle
+count (overhead + 8n data cycles), across four clock speeds.
+
+Figure 15: parallel MBus stripes payload bits over w DATA wires while
+all other protocol elements stay serial, so the data phase shrinks to
+ceil(8n / w) cycles and goodput approaches w-fold for long messages
+while short messages stay overhead-dominated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.constants import (
+    DEFAULT_CLOCK_HZ,
+    OVERHEAD_CYCLES_FULL,
+    OVERHEAD_CYCLES_SHORT,
+)
+
+#: The four clock speeds plotted in Figure 14.
+FIGURE14_CLOCKS_HZ = (100_000, 400_000, 1_000_000, 7_100_000)
+
+#: The wire counts plotted in Figure 15.
+FIGURE15_WIRE_COUNTS = (1, 2, 3, 4)
+
+
+def _overhead(full_address: bool) -> int:
+    return OVERHEAD_CYCLES_FULL if full_address else OVERHEAD_CYCLES_SHORT
+
+
+def transaction_cycles(
+    n_bytes: int, full_address: bool = False, data_wires: int = 1
+) -> int:
+    """Cycles for one transaction, optionally with striped data."""
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    if data_wires < 1:
+        raise ValueError("at least one DATA wire")
+    data = math.ceil(8 * n_bytes / data_wires)
+    return _overhead(full_address) + data
+
+
+def transaction_rate_hz(
+    clock_hz: float, n_bytes: int, full_address: bool = False
+) -> float:
+    """Saturating transactions per second (Figure 14)."""
+    if clock_hz <= 0:
+        raise ValueError("clock must be positive")
+    return clock_hz / transaction_cycles(n_bytes, full_address)
+
+
+def transaction_rate_series(
+    lengths: Sequence[int] = tuple(range(0, 41, 4)),
+    clocks_hz: Sequence[int] = FIGURE14_CLOCKS_HZ,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Figure 14 data: clock -> [(payload bytes, transactions/s)]."""
+    return {
+        clock: [(n, transaction_rate_hz(clock, n)) for n in lengths]
+        for clock in clocks_hz
+    }
+
+
+def parallel_goodput_bps(
+    n_bytes: int,
+    data_wires: int = 1,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+    full_address: bool = False,
+) -> float:
+    """Payload throughput of (parallel) MBus in bits/second (Fig. 15).
+
+    Goodput counts only actual data bits; protocol overhead is
+    unchanged by extra wires, so it dominates short messages.
+    """
+    if n_bytes == 0:
+        return 0.0
+    cycles = transaction_cycles(n_bytes, full_address, data_wires)
+    return 8 * n_bytes * clock_hz / cycles
+
+
+def parallel_goodput_series(
+    lengths: Sequence[int] = tuple(range(0, 129, 8)),
+    wire_counts: Sequence[int] = FIGURE15_WIRE_COUNTS,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """Figure 15 data: wires -> [(payload bytes, goodput kbit/s)].
+
+    The paper's y-axis is labelled bits/s but the plotted magnitudes
+    (0-1600 for a 400 kHz clock) are only consistent with kbit/s;
+    we report kbit/s and note the discrepancy in EXPERIMENTS.md.
+    """
+    return {
+        w: [
+            (n, parallel_goodput_bps(n, w, clock_hz) / 1e3) for n in lengths
+        ]
+        for w in wire_counts
+    }
+
+
+def speedup_vs_serial(n_bytes: int, data_wires: int) -> float:
+    """Goodput gain of w wires over serial MBus for one length."""
+    serial = parallel_goodput_bps(n_bytes, 1)
+    if serial == 0:
+        return 1.0
+    return parallel_goodput_bps(n_bytes, data_wires) / serial

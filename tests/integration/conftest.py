@@ -1,0 +1,27 @@
+"""Shared fixtures for edge-accurate integration tests."""
+
+import pytest
+
+from repro.core import MBusSystem
+
+
+@pytest.fixture
+def three_node_system():
+    """cpu (mediator) + sensor + radio, all always-on."""
+    system = MBusSystem()
+    system.add_mediator_node("cpu", short_prefix=0x1)
+    system.add_node("sensor", short_prefix=0x2)
+    system.add_node("radio", short_prefix=0x3)
+    system.build()
+    return system
+
+
+@pytest.fixture
+def gated_system():
+    """cpu (mediator) + two power-gated members."""
+    system = MBusSystem()
+    system.add_mediator_node("cpu", short_prefix=0x1)
+    system.add_node("sensor", short_prefix=0x2, power_gated=True)
+    system.add_node("radio", short_prefix=0x3, power_gated=True)
+    system.build()
+    return system

@@ -1,0 +1,101 @@
+"""Arbitration and priority arbitration (Section 4.3, Figure 5)."""
+
+import pytest
+
+from repro.core import Address, MBusSystem
+
+
+def _system(n_members=3):
+    system = MBusSystem()
+    system.add_mediator_node("m", short_prefix=0x1)
+    for i in range(n_members):
+        system.add_node(f"n{i}", short_prefix=0x2 + i)
+    system.build()
+    return system
+
+
+class TestTopologicalPriority:
+    def test_closer_to_mediator_wins(self):
+        """Arbitration priority follows ring position (Section 4.3)."""
+        system = _system()
+        system.post("n2", Address.short(0x1, 5), b"\xC2")
+        system.post("n0", Address.short(0x1, 5), b"\xC0")
+        system.run_until_idle()
+        assert [t.tx_node for t in system.transactions] == ["n0", "n2"]
+
+    def test_three_way_contention_fully_ordered(self):
+        system = _system()
+        for name in ("n2", "n1", "n0"):
+            system.post(name, Address.short(0x1, 5), name.encode())
+        system.run_until_idle()
+        assert [t.tx_node for t in system.transactions] == ["n0", "n1", "n2"]
+        assert all(t.ok for t in system.transactions)
+
+    def test_loser_retries_and_delivers(self):
+        system = _system()
+        system.post("n1", Address.short(0x1, 5), b"\x11")
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.run_until_idle()
+        payloads = sorted(m.payload for m in system.node("m").inbox)
+        assert payloads == [b"\x00", b"\x11"]
+
+    def test_mediator_member_has_top_priority(self):
+        """Section 7: 'the mediator always has top priority'."""
+        system = _system()
+        system.post("n0", Address.short(0x3, 5), b"\x01")
+        system.post("m", Address.short(0x2, 5), b"\x02")
+        system.run_until_idle()
+        assert system.transactions[0].tx_node == "m"
+
+
+class TestPriorityArbitration:
+    def test_priority_flag_preempts_topological_winner(self):
+        """Figure 5: node 3 claims the bus from node 1 via the
+        priority arbitration cycle."""
+        system = _system()
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n2", Address.short(0x1, 5), b"\x22", priority=True)
+        system.run_until_idle()
+        assert [t.tx_node for t in system.transactions] == ["n2", "n0"]
+        assert system.node("n0").engine.stats.priority_preemptions == 1
+        assert system.node("n2").engine.stats.priority_wins == 1
+
+    def test_priority_between_two_priority_requesters(self):
+        """Among priority requesters, topology still orders them."""
+        system = _system()
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n1", Address.short(0x1, 5), b"\x11", priority=True)
+        system.post("n2", Address.short(0x1, 5), b"\x22", priority=True)
+        system.run_until_idle()
+        assert system.transactions[0].tx_node == "n1"
+        assert all(t.ok for t in system.transactions)
+
+    def test_priority_uncontested_behaves_normally(self):
+        system = _system()
+        result = system.send("n1", Address.short(0x1, 5), b"\x01", priority=True)
+        assert result.ok and result.tx_node == "n1"
+
+    def test_preempted_winner_delivers_later(self):
+        system = _system()
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n2", Address.short(0x1, 5), b"\x22", priority=True)
+        system.run_until_idle()
+        payloads = {m.payload for m in system.node("m").inbox}
+        assert payloads == {b"\x00", b"\x22"}
+
+
+class TestArbitrationStats:
+    def test_winner_and_loser_counters(self):
+        system = _system()
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n1", Address.short(0x1, 5), b"\x11")
+        system.run_until_idle()
+        assert system.node("n0").engine.stats.arbitrations_won >= 1
+        assert system.node("n1").engine.stats.arbitrations_lost >= 1
+
+    def test_every_node_observes_every_transaction(self):
+        system = _system()
+        for _ in range(3):
+            system.send("m", Address.short(0x2, 5), b"\x01")
+        for node in system.nodes:
+            assert node.engine.stats.transactions_observed == 3

@@ -1,0 +1,163 @@
+"""Edge-accurate transactions: delivery, cycle counts, addressing."""
+
+import pytest
+
+from repro.core import Address, ControlCode, MBusSystem
+from repro.core.errors import ConfigurationError
+
+
+class TestDelivery:
+    def test_payload_delivered_intact(self, three_node_system):
+        payload = bytes(range(16))
+        result = three_node_system.send("cpu", Address.short(0x3, 5), payload)
+        assert result.ok
+        assert three_node_system.node("radio").inbox[-1].payload == payload
+
+    def test_member_to_member_without_cpu(self, three_node_system):
+        """Any-to-any: sensor talks to radio directly (Section 6.3.1)."""
+        result = three_node_system.send("sensor", Address.short(0x3, 5), b"\x42")
+        assert result.ok
+        assert result.tx_node == "sensor"
+        assert result.rx_nodes == ["radio"]
+        assert three_node_system.node("cpu").inbox == []
+
+    def test_member_to_mediator(self, three_node_system):
+        result = three_node_system.send("radio", Address.short(0x1, 5), b"\x99")
+        assert result.ok
+        assert three_node_system.node("cpu").inbox[-1].payload == b"\x99"
+
+    def test_zero_byte_message(self, three_node_system):
+        result = three_node_system.send("cpu", Address.short(0x2, 5), b"")
+        assert result.ok
+        assert three_node_system.node("sensor").inbox[-1].payload == b""
+
+    def test_single_byte_values_roundtrip(self, three_node_system):
+        for value in (0x00, 0xFF, 0xAA, 0x55, 0x01, 0x80):
+            result = three_node_system.send(
+                "cpu", Address.short(0x2, 5), bytes([value])
+            )
+            assert result.ok
+            assert three_node_system.node("sensor").inbox[-1].payload == bytes(
+                [value]
+            )
+
+    def test_long_message(self, three_node_system):
+        payload = bytes(i & 0xFF for i in range(600))
+        result = three_node_system.send("cpu", Address.short(0x3, 5), payload)
+        assert result.ok
+        assert three_node_system.node("radio").inbox[-1].payload == payload
+
+    def test_sequential_messages_all_delivered(self, three_node_system):
+        for i in range(5):
+            three_node_system.post("cpu", Address.short(0x2, 5), bytes([i]))
+        three_node_system.run_until_idle()
+        payloads = [m.payload for m in three_node_system.node("sensor").inbox]
+        assert payloads == [bytes([i]) for i in range(5)]
+
+    def test_fu_id_carried(self, three_node_system):
+        three_node_system.send("cpu", Address.short(0x2, 0xB), b"\x01")
+        assert three_node_system.node("sensor").inbox[-1].dest.fu_id == 0xB
+
+
+class TestCycleCounts:
+    """Cross-validation of the edge simulator against Section 6.1."""
+
+    @pytest.mark.parametrize("n_bytes", [0, 1, 2, 8, 13])
+    def test_short_address_clock_cycles(self, n_bytes):
+        """Mediator clock cycles before control: arbitration (3) +
+        address (8) + data (8n); control adds its 3."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        result = system.send("m", Address.short(0x2, 5), bytes(n_bytes))
+        assert result.clock_cycles == 3 + 8 + 8 * n_bytes
+        assert result.control_cycles == 3
+
+    @pytest.mark.parametrize("n_bytes", [0, 4])
+    def test_full_address_clock_cycles(self, n_bytes):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2, full_prefix=0x2B3C4)
+        result = system.send("m", Address.full(0x2B3C4, 5), bytes(n_bytes))
+        assert result.ok
+        assert result.clock_cycles == 3 + 32 + 8 * n_bytes
+
+    def test_analytic_model_consistency(self, three_node_system):
+        """Edge sim total = analytic 19 + 8n minus the interjection
+        allowance (5 cycles) that is wall-time, not clocked."""
+        from repro.core.transaction import TransactionModel
+
+        model = TransactionModel()
+        result = three_node_system.send("cpu", Address.short(0x2, 5), bytes(8))
+        clocked = result.clock_cycles + result.control_cycles
+        assert clocked == model.total_cycles(8) - 5
+
+    def test_duration_matches_clock(self):
+        from repro.core.constants import MBusTiming
+
+        system = MBusSystem(timing=MBusTiming(clock_hz=1_000_000))
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        result = system.send("m", Address.short(0x2, 5), bytes(4))
+        # 43 data/arb cycles + interjection + 3 control at 1 MHz ~= 50 us.
+        assert 40e-6 < result.duration_ps * 1e-12 < 80e-6
+
+
+class TestFullAddressing:
+    def test_full_and_short_interchangeable(self):
+        """Section 4.7: chips may be addressed by either form."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2, full_prefix=0x54321)
+        r1 = system.send("m", Address.short(0x2, 5), b"\x01")
+        r2 = system.send("m", Address.full(0x54321, 5), b"\x02")
+        assert r1.ok and r2.ok
+        assert [m.payload for m in system.node("a").inbox] == [b"\x01", b"\x02"]
+
+    def test_wrong_full_prefix_naks(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2, full_prefix=0x54321)
+        result = system.send("m", Address.full(0x11111, 5), b"\x01")
+        assert not result.ok
+        assert result.control is ControlCode.EOM_NAK
+
+
+class TestConfigurationValidation:
+    def test_duplicate_short_prefix_rejected(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        system.add_node("b", short_prefix=0x2)
+        with pytest.raises(ConfigurationError):
+            system.build()
+
+    def test_two_mediators_rejected(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        with pytest.raises(ConfigurationError):
+            system.add_mediator_node("m2", short_prefix=0x2)
+
+    def test_mediator_required(self):
+        system = MBusSystem()
+        system.add_node("a", short_prefix=0x2)
+        system.add_node("b", short_prefix=0x3)
+        with pytest.raises(ConfigurationError):
+            system.build()
+
+    def test_reserved_prefix_rejected(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        with pytest.raises(Exception):
+            system.add_node("a", short_prefix=0xF)
+            system.build()
+
+    def test_duplicate_names_rejected(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        with pytest.raises(ConfigurationError):
+            system.add_node("m", short_prefix=0x2)
+
+    def test_unknown_node_lookup(self, three_node_system):
+        with pytest.raises(ConfigurationError):
+            three_node_system.node("ghost")

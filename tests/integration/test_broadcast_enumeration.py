@@ -1,0 +1,113 @@
+"""Broadcast messages and run-time enumeration (Sections 4.6, 4.7)."""
+
+import pytest
+
+from repro.core import Address, MBusSystem
+from repro.core.enumeration import (
+    CHANNEL_ENUMERATION,
+    Enumerator,
+)
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_subscribers(self, three_node_system):
+        result = three_node_system.broadcast("cpu", 0, b"\xCA\xFE")
+        assert result.ok
+        assert set(result.rx_nodes) == {"sensor", "radio"}
+
+    def test_channel_filtering(self):
+        """Broadcast FU-IDs are channel identifiers: nodes listen only
+        to channels they support (Section 4.6)."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2, broadcast_channels=frozenset({0, 3}))
+        system.add_node("b", short_prefix=0x3, broadcast_channels=frozenset({0}))
+        result = system.broadcast("m", 3, b"\x01")
+        assert result.rx_nodes == ["a"]
+
+    def test_broadcast_wakes_gated_subscribers(self, gated_system):
+        result = gated_system.broadcast("cpu", 0, b"\x01")
+        assert set(result.rx_nodes) == {"sensor", "radio"}
+        assert gated_system.node("sensor").layer_domain.wake_count == 1
+
+    def test_broadcast_channel_count(self):
+        """FU-ID width gives 16 channels."""
+        for channel in (0, 15):
+            address = Address.broadcast(channel)
+            assert address.is_broadcast
+            assert address.fu_id == channel
+
+    def test_sender_does_not_receive_own_broadcast(self, three_node_system):
+        three_node_system.broadcast("cpu", 0, b"\x01")
+        assert all(
+            m.payload != b"\x01" for m in three_node_system.node("cpu").inbox
+        )
+
+
+class TestEnumeration:
+    def _unassigned_system(self):
+        system = MBusSystem()
+        system.add_mediator_node("ctl", short_prefix=0x1)
+        # Two copies of the same chip design: identical full prefixes,
+        # the case that *requires* enumeration (Section 4.7).
+        system.add_node("mem0", full_prefix=0xBEEF0)
+        system.add_node("mem1", full_prefix=0xBEEF0)
+        system.add_node("snsr", full_prefix=0x12345)
+        system.build()
+        return system
+
+    def test_all_nodes_enumerated(self):
+        system = self._unassigned_system()
+        assignments = Enumerator(system, "ctl").enumerate()
+        assert set(assignments) == {"ctl", "mem0", "mem1", "snsr"}
+        member_prefixes = [assignments[n] for n in ("mem0", "mem1", "snsr")]
+        assert len(set(member_prefixes)) == 3
+
+    def test_short_prefix_encodes_topological_priority(self):
+        """Section 4.7: 'a node's short prefix encodes its topological
+        priority' — ring order wins each round."""
+        system = self._unassigned_system()
+        assignments = Enumerator(system, "ctl").enumerate()
+        assert assignments["mem0"] < assignments["mem1"] < assignments["snsr"]
+
+    def test_enumerated_nodes_are_addressable(self):
+        system = self._unassigned_system()
+        assignments = Enumerator(system, "ctl").enumerate()
+        result = system.send(
+            "ctl", Address.short(assignments["mem1"], 5), b"\x42"
+        )
+        assert result.ok
+        assert system.node("mem1").inbox[-1].payload == b"\x42"
+
+    def test_static_prefixes_skip_enumeration(self):
+        """Devices may self-assign static prefixes; if there are no
+        conflicts enumeration may be skipped."""
+        system = MBusSystem()
+        system.add_mediator_node("ctl", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x7)
+        system.build()
+        enumerator = Enumerator(system, "ctl")
+        assignments = enumerator.enumerate()
+        assert assignments["a"] == 0x7
+
+    def test_mixed_static_and_dynamic(self):
+        system = MBusSystem()
+        system.add_mediator_node("ctl", short_prefix=0x1)
+        system.add_node("static", short_prefix=0x7)
+        system.add_node("dynamic", full_prefix=0x33333)
+        system.build()
+        assignments = Enumerator(system, "ctl").enumerate()
+        assert assignments["static"] == 0x7
+        assert assignments["dynamic"] not in (0x1, 0x7)
+
+    def test_enumeration_uses_broadcast_channel(self):
+        system = self._unassigned_system()
+        Enumerator(system, "ctl").enumerate()
+        enum_messages = [
+            t
+            for t in system.transactions
+            if t.message is not None
+            and t.message.dest.is_broadcast
+            and t.message.dest.fu_id == CHANNEL_ENUMERATION
+        ]
+        assert len(enum_messages) >= 4   # 3+ ENUMERATE rounds + replies

@@ -1,0 +1,285 @@
+"""Section 7 features: mutable/rotating priority, third-party
+interjections, resumable messages, and the protocol monitor."""
+
+import pytest
+
+from repro.core import Address, ControlCode, MBusSystem
+from repro.core.errors import ConfigurationError
+from repro.core.fairness import RotatingPriority, fairness_index
+from repro.core.monitor import ProtocolMonitor
+from repro.core.resumable import (
+    FU_RESUMABLE,
+    ResumableReceiver,
+    ResumableSender,
+)
+
+
+def _four_node_system():
+    system = MBusSystem()
+    system.add_mediator_node("m", short_prefix=0x1)
+    for i in range(3):
+        system.add_node(f"n{i}", short_prefix=0x2 + i)
+    system.build()
+    return system
+
+
+class TestMutablePriority:
+    def test_anchor_moves_topological_priority(self):
+        """With the anchor at n1, n2 (first downstream) beats n0."""
+        system = _four_node_system()
+        system.set_arbitration_anchor("n1")
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n2", Address.short(0x1, 5), b"\x22")
+        system.run_until_idle()
+        assert [t.tx_node for t in system.transactions] == ["n2", "n0"]
+
+    def test_default_scheme_restored(self):
+        system = _four_node_system()
+        system.set_arbitration_anchor("n1")
+        system.set_arbitration_anchor(None)
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n2", Address.short(0x1, 5), b"\x22")
+        system.run_until_idle()
+        assert [t.tx_node for t in system.transactions] == ["n0", "n2"]
+
+    def test_anchor_as_requester_wins(self):
+        system = _four_node_system()
+        system.set_arbitration_anchor("n2")
+        system.post("n0", Address.short(0x1, 5), b"\x00")
+        system.post("n2", Address.short(0x1, 5), b"\x22")
+        system.run_until_idle()
+        assert system.transactions[0].tx_node == "n2"
+
+    def test_anchor_handles_null_transactions(self):
+        """The anchor inherits the mediator's no-winner duty."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        system.add_node("b", short_prefix=0x3, power_gated=True)
+        system.build()
+        system.set_arbitration_anchor("a")
+        fired = []
+        system.node("b").on_interrupt = lambda n: fired.append(n.name)
+        system.interrupt("b")
+        system.run_until_idle()
+        assert fired == ["b"]
+        assert system.transactions[-1].control is ControlCode.GENERAL_ERROR
+
+    def test_mediator_can_transmit_under_anchor(self):
+        system = _four_node_system()
+        system.set_arbitration_anchor("n1")
+        result = system.send("m", Address.short(0x2, 5), b"\x01")
+        assert result.ok and result.tx_node == "m"
+
+    def test_gated_node_cannot_anchor(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("g", short_prefix=0x2, power_gated=True)
+        system.build()
+        with pytest.raises(ConfigurationError):
+            system.set_arbitration_anchor("g")
+
+    def test_delivery_unaffected_by_anchor(self):
+        system = _four_node_system()
+        system.set_arbitration_anchor("n1")
+        result = system.send("n0", Address.short(0x4, 5), b"\xAB\xCD")
+        assert result.ok
+        assert system.node("n2").inbox[-1].payload == b"\xAB\xCD"
+
+
+class TestRotatingPriority:
+    def test_sustained_contention_is_fair(self):
+        """Section 7: 'one fair scheme could automatically rotate
+        priority on every message.'"""
+        system = _four_node_system()
+        policy = RotatingPriority(system, members=["n0", "n1", "n2"])
+        for i in range(4):
+            for name in ("n0", "n1", "n2"):
+                system.post(name, Address.short(0x1, 5), bytes([i]))
+        system.run_until_idle()
+        assert fairness_index(policy.wins_by_node) > 0.95
+        assert sum(policy.wins_by_node.values()) == 12
+        # Under rotation the backlogged nodes interleave round-robin
+        # instead of draining in topological order.
+        winners = [t.tx_node for t in system.transactions]
+        assert winners[:6] == ["n0", "n1", "n2", "n0", "n1", "n2"]
+
+    def test_fixed_priority_is_unfair_under_contention(self):
+        """Contrast: the default scheme starves by topology order."""
+        system = _four_node_system()
+        wins = {}
+        system.on_transaction_complete.append(
+            lambda r: wins.__setitem__(r.tx_node, wins.get(r.tx_node, 0) + 1)
+        )
+        # Keep both nodes permanently backlogged.
+        for i in range(6):
+            system.post("n0", Address.short(0x1, 5), bytes([i]))
+            system.post("n2", Address.short(0x1, 5), bytes([0x80 + i]))
+        system.run_until_idle()
+        first_six = [t.tx_node for t in system.transactions[:6]]
+        assert first_six == ["n0"] * 6   # n0 drains fully first
+
+    def test_rotation_count_tracks_transactions(self):
+        system = _four_node_system()
+        policy = RotatingPriority(system, members=["n0", "n1"])
+        for i in range(4):
+            system.post("n0", Address.short(0x1, 5), bytes([i]))
+        system.run_until_idle()
+        assert policy.rotations == 4
+
+    def test_detach_restores_default(self):
+        system = _four_node_system()
+        policy = RotatingPriority(system, members=["n0", "n1"])
+        policy.detach()
+        assert system.arbitration_anchor is None
+
+    def test_jain_index_bounds(self):
+        assert fairness_index({}) == 1.0
+        assert fairness_index({"a": 5, "b": 5}) == 1.0
+        assert fairness_index({"a": 10, "b": 0}) == pytest.approx(0.5)
+
+
+class TestThirdPartyInterjection:
+    def test_latency_sensitive_node_kills_long_message(self):
+        """Section 4.9: a node with a latency-sensitive message may
+        interrupt an active transaction."""
+        system = _four_node_system()
+        system.post("m", Address.short(0x2, 5), bytes(64))
+        # Let the transfer get past the address phase, then interject
+        # from a bystander.
+        system.run_for(30 * 2.5e-6)     # ~30 cycles at 400 kHz
+        system.node("n2").request_interjection("urgent")
+        system.run_until_idle()
+        result = system.transactions[-1]
+        assert not result.ok
+        assert result.control is ControlCode.RX_ABORT
+
+    def test_minimum_progress_respected(self):
+        """The kill lands only after 4 payload bytes have moved."""
+        system = _four_node_system()
+        system.post("m", Address.short(0x2, 5), bytes(range(64)))
+        system.run_for(15 * 2.5e-6)
+        system.node("n2").request_interjection("urgent")
+        system.run_until_idle()
+        delivered = system.node("n0").inbox[-1].payload
+        assert len(delivered) >= 4
+        assert delivered == bytes(range(len(delivered)))
+
+    def test_interjection_outside_transfer_rejected(self):
+        system = _four_node_system()
+        with pytest.raises(Exception):
+            system.node("n0").request_interjection("nothing to kill")
+
+
+class TestResumableMessages:
+    def _system(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("rx", short_prefix=0x2, rx_buffer_bytes=4096)
+        system.add_node("bystander", short_prefix=0x3)
+        system.build()
+        return system
+
+    def test_uninterrupted_stream_delivers(self):
+        system = self._system()
+        receiver = ResumableReceiver(system.node("rx"))
+        sender = ResumableSender(system, "m")
+        payload = bytes(i & 0xFF for i in range(700))
+        stream = sender.send(0x2, payload, chunk_bytes=128)
+        assert receiver.finish(stream) == payload
+
+    def test_interrupted_stream_resumes(self):
+        """Chunks killed mid-flight are resumed, and the receiver
+        reassembles by offset (Section 7)."""
+        system = self._system()
+        receiver = ResumableReceiver(system.node("rx"))
+        sender = ResumableSender(system, "m")
+        payload = bytes((i * 7) & 0xFF for i in range(600))
+
+        # Kill every long transaction once via a bystander interjection.
+        killed = []
+
+        def saboteur(result):
+            if (
+                result.ok
+                and len(killed) < 2
+                and result.message is not None
+                and result.message.n_bytes > 64
+            ):
+                pass
+
+        # Schedule interjections during the first two chunks.
+        def arm_kill():
+            try:
+                system.node("bystander").request_interjection("urgent")
+                killed.append(system.sim.now)
+            except Exception:
+                pass
+
+        for delay_cycles in (60, 400):
+            system.sim.schedule(
+                int(delay_cycles * 2.5e-6 * 1e12) + 3_000_000, arm_kill
+            )
+        stream = sender.send(0x2, payload, chunk_bytes=256)
+        assert receiver.finish(stream) == payload
+        assert killed, "the saboteur never fired"
+
+    def test_streams_are_independent(self):
+        system = self._system()
+        receiver = ResumableReceiver(system.node("rx"))
+        sender = ResumableSender(system, "m")
+        a = bytes(range(100))
+        b = bytes(reversed(range(100)))
+        sa = sender.send(0x2, a, chunk_bytes=64)
+        sb = sender.send(0x2, b, chunk_bytes=64)
+        assert receiver.finish(sa) == a
+        assert receiver.finish(sb) == b
+
+    def test_progress_tracking(self):
+        system = self._system()
+        receiver = ResumableReceiver(system.node("rx"))
+        sender = ResumableSender(system, "m")
+        stream = sender.send(0x2, bytes(100), chunk_bytes=64)
+        assert receiver.progress(stream) == 100
+
+
+class TestProtocolMonitor:
+    def test_clean_after_mixed_traffic(self):
+        system = _four_node_system()
+        system.send("m", Address.short(0x2, 5), bytes(16))
+        system.broadcast("m", 0, b"\x01")
+        system.post("n0", Address.short(0x1, 5), b"\x01")
+        system.post("n2", Address.short(0x1, 5), b"\x02", priority=True)
+        system.run_until_idle()
+        ProtocolMonitor(system).assert_clean()
+
+    def test_clean_with_gated_nodes_and_interrupts(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2, power_gated=True)
+        system.add_node("b", short_prefix=0x3, power_gated=True)
+        system.send("m", Address.short(0x2, 5), b"\x01")
+        system.interrupt("b")
+        system.run_until_idle()
+        assert ProtocolMonitor(system).audit() == []
+
+    def test_clean_under_anchor_and_aborts(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("tiny", short_prefix=0x2, rx_buffer_bytes=4)
+        system.add_node("anchor", short_prefix=0x3)
+        system.build()
+        system.set_arbitration_anchor("anchor")
+        system.send("m", Address.short(0x2, 5), bytes(32))   # aborts
+        system.send("m", Address.short(0x3, 5), b"\x01")
+        system.run_until_idle()
+        ProtocolMonitor(system).assert_clean()
+
+    def test_monitor_detects_seeded_fault(self):
+        """Sanity: the monitor is not vacuously green."""
+        system = _four_node_system()
+        system.send("m", Address.short(0x2, 5), b"\x01")
+        # Seed a fault: leave a node's controller driving low.
+        system.node("n2").data_ctl.drive(0)
+        violations = ProtocolMonitor(system).audit()
+        assert any(v.rule.startswith("R1") for v in violations)

@@ -1,0 +1,141 @@
+"""Interjection, control codes, fault tolerance (Sections 4.8, 4.9, 7)."""
+
+import pytest
+
+from repro.core import Address, ControlCode, MBusSystem
+from repro.core.constants import MBusTiming
+
+
+class TestEndOfMessage:
+    def test_eom_is_ack_on_success(self, three_node_system):
+        result = three_node_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        assert result.control is ControlCode.EOM_ACK
+
+    def test_receiver_naks_via_ack_policy(self):
+        """At the end of a message the receiver ACKs or NAKs the
+        entire message (Section 4.8)."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("nak", short_prefix=0x2, ack_policy=lambda p: False)
+        result = system.send("m", Address.short(0x2, 5), b"\x01")
+        assert result.control is ControlCode.EOM_NAK
+        assert not result.ok
+
+    def test_conditional_ack_policy_sees_payload(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node(
+            "picky", short_prefix=0x2, ack_policy=lambda p: p[:1] == b"\xA5"
+        )
+        good = system.send("m", Address.short(0x2, 5), b"\xA5\x01")
+        bad = system.send("m", Address.short(0x2, 5), b"\x5A\x01")
+        assert good.ok and not bad.ok
+
+    def test_unmatched_address_yields_nak(self, three_node_system):
+        """A dead/absent receiver cannot ACK: deterministic NAK."""
+        result = three_node_system.send("cpu", Address.short(0x9, 0), b"\x01")
+        assert result.control is ControlCode.EOM_NAK
+
+
+class TestReceiverAbort:
+    def test_buffer_overrun_aborts_with_rx_abort(self):
+        """The receiver may interject mid-message to indicate error,
+        e.g. buffer overrun (Section 4.8)."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("tiny", short_prefix=0x2, rx_buffer_bytes=4)
+        result = system.send("m", Address.short(0x2, 5), bytes(32))
+        assert result.control is ControlCode.RX_ABORT
+        assert not result.ok
+
+    def test_truncated_delivery_is_byte_aligned(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("tiny", short_prefix=0x2, rx_buffer_bytes=4)
+        system.send("m", Address.short(0x2, 5), bytes(range(32)))
+        delivered = system.node("tiny").inbox[-1].payload
+        assert len(delivered) >= 4
+        assert delivered == bytes(range(len(delivered)))
+
+    def test_minimum_progress_policy(self):
+        """Section 7: a winner may send at least four bytes before
+        being interrupted — even by an overrunning receiver."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("tiny", short_prefix=0x2, rx_buffer_bytes=1)
+        system.send("m", Address.short(0x2, 5), bytes(16))
+        delivered = system.node("tiny").inbox[-1].payload
+        assert len(delivered) >= 4
+
+
+class TestRunawayWatchdog:
+    def test_runaway_message_killed_by_mediator(self):
+        """Section 7: the mediator imposes a maximum message length."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("big", short_prefix=0x2, rx_buffer_bytes=1 << 20)
+        result = system.send("m", Address.short(0x2, 5), bytes(1200))
+        assert result.general_error
+        assert result.error_reason == "runaway-message"
+        assert system.node("m").mediator.stats.runaway_aborts == 1
+
+    def test_minimum_maximum_is_1kb(self):
+        """MBus requires a minimum maximum length of 1 kB."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("big", short_prefix=0x2, rx_buffer_bytes=1 << 20)
+        system.set_max_message_bytes(16)   # clamped up to 1024
+        result = system.send("m", Address.short(0x2, 5), bytes(1000))
+        assert result.ok
+
+    def test_raised_limit_allows_long_messages(self):
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("big", short_prefix=0x2, rx_buffer_bytes=1 << 20)
+        system.set_max_message_bytes(4096)
+        result = system.send("m", Address.short(0x2, 5), bytes(2000))
+        assert result.ok
+        assert system.node("big").inbox[-1].payload == bytes(2000)
+
+
+class TestFaultTolerance:
+    def test_bus_never_locks_across_mixed_traffic(self):
+        """Section 3: it must be impossible to enter a locked-up
+        state; every scenario must return the bus to idle."""
+        system = MBusSystem()
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2, power_gated=True)
+        system.add_node("b", short_prefix=0x3, rx_buffer_bytes=4)
+        system.post("m", Address.short(0x2, 5), b"\x01")
+        system.post("a", Address.short(0x3, 5), bytes(16))   # will abort
+        system.post("m", Address.short(0x9, 0), b"")          # no receiver
+        system.interrupt("a")
+        system.run_until_idle()           # raises BusLockedError if hung
+        assert system.is_idle
+
+    def test_back_to_back_transactions(self, three_node_system):
+        for i in range(10):
+            result = three_node_system.send(
+                "cpu", Address.short(0x2 + (i % 2), 5), bytes([i])
+            )
+            assert result.ok
+        assert three_node_system.is_idle
+
+    def test_interjection_statistics_recorded(self, three_node_system):
+        three_node_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        mediator_stats = three_node_system.node("cpu").mediator.stats
+        assert mediator_stats.interjection_sequences == 1
+        assert three_node_system.node("radio").engine.stats.interjections_seen == 1
+
+
+class TestClockSpeeds:
+    @pytest.mark.parametrize("clock_hz", [10_000, 400_000, 6_670_000])
+    def test_implemented_clock_range(self, clock_hz):
+        """Section 6.3.2: the implemented clock is tunable from
+        10 kHz to 6.67 MHz."""
+        system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz))
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        result = system.send("m", Address.short(0x2, 5), b"\xAA\x55")
+        assert result.ok
+        assert system.node("a").inbox[-1].payload == b"\xAA\x55"

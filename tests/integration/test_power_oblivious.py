@@ -1,0 +1,157 @@
+"""Power-oblivious communication (Sections 4.4, 4.5, Figure 6).
+
+The paper's central primitive: a sender may send to any recipient
+regardless of the recipient's power state, and the recipient will
+receive the message; only the destination node is powered on.
+"""
+
+import pytest
+
+from repro.core import Address, MBusSystem
+
+
+class TestTransparentWakeup:
+    def test_sleeping_receiver_gets_message(self, gated_system):
+        result = gated_system.send("cpu", Address.short(0x2, 5), b"\xAB")
+        assert result.ok
+        assert gated_system.node("sensor").inbox[-1].payload == b"\xAB"
+
+    def test_only_destination_layer_powers_on(self, gated_system):
+        """Section 4.4: 'only the destination node is powered on'."""
+        gated_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        assert gated_system.node("sensor").layer_domain.wake_count == 1
+        assert gated_system.node("radio").layer_domain.wake_count == 0
+
+    def test_all_bus_controllers_wake_for_every_message(self, gated_system):
+        """Arbitration edges wake every bus controller (4.4)."""
+        gated_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        assert gated_system.node("sensor").bus_domain.wake_count == 1
+        assert gated_system.node("radio").bus_domain.wake_count == 1
+
+    def test_wakeup_sequence_order(self, gated_system):
+        """Power gate -> clock -> isolation -> reset (Section 3)."""
+        gated_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        log = gated_system.node("sensor").bus_domain.log
+        steps = [e.action for e in log if e.action.startswith("release")]
+        assert steps[:4] == [
+            "release_power_gate",
+            "release_clock",
+            "release_isolation",
+            "release_reset",
+        ]
+
+    def test_nodes_return_to_sleep_after_transaction(self, gated_system):
+        gated_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        for name in ("sensor", "radio"):
+            node = gated_system.node(name)
+            assert not node.bus_domain.is_on
+            assert not node.layer_domain.is_on
+
+    def test_no_messages_dropped_by_gating(self, gated_system):
+        for i in range(4):
+            gated_system.post("cpu", Address.short(0x2, 5), bytes([i]))
+        gated_system.run_until_idle()
+        assert len(gated_system.node("sensor").inbox) == 4
+        assert gated_system.node("sensor").dropped == []
+
+    def test_gated_node_never_addressed_stays_down(self, gated_system):
+        """The radio's layer must never wake while traffic flows
+        between cpu and sensor."""
+        for _ in range(3):
+            gated_system.send("cpu", Address.short(0x2, 5), b"\x01")
+        radio = gated_system.node("radio")
+        assert radio.layer_domain.wake_count == 0
+        assert radio.layer_domain.total_on_time_ps() == 0
+
+
+class TestIntraNodeWakeup:
+    """Section 4.5: null transactions from the interrupt port."""
+
+    def test_interrupt_wakes_own_node(self, gated_system):
+        fired = []
+        gated_system.node("sensor").on_interrupt = lambda n: fired.append(n.name)
+        gated_system.interrupt("sensor")
+        gated_system.run_until_idle()
+        assert fired == ["sensor"]
+
+    def test_null_transaction_is_general_error(self, gated_system):
+        """Figure 6: no winner -> mediator raises a general error."""
+        gated_system.interrupt("sensor")
+        gated_system.run_until_idle()
+        last = gated_system.transactions[-1]
+        assert last.general_error
+        assert last.error_reason == "no-arbitration-winner"
+
+    def test_null_transaction_wakes_full_hierarchy(self, gated_system):
+        """Figure 6: bus controller wakes during arbitration, layer
+        controller during interjection + control."""
+        gated_system.interrupt("sensor")
+        gated_system.run_until_idle()
+        sensor = gated_system.node("sensor")
+        assert sensor.bus_domain.wake_count == 1
+        assert sensor.layer_domain.wake_count == 1
+
+    def test_sleeping_node_can_send(self, gated_system):
+        """post() on a sleeping node: wake via null transaction, then
+        transmit — no other component's support required (4.5)."""
+        gated_system.post("sensor", Address.short(0x3, 5), b"\x77")
+        gated_system.run_until_idle()
+        kinds = [(t.general_error, t.tx_node) for t in gated_system.transactions]
+        assert kinds == [(True, None), (False, "sensor")]
+        assert gated_system.node("radio").inbox[-1].payload == b"\x77"
+
+    def test_interrupt_while_bus_busy_piggybacks(self, gated_system):
+        """An interrupt raised mid-transaction needs no null
+        transaction of its own: the in-flight transaction's CLK edges
+        wake the node's hierarchy, and the interrupt is serviced at
+        the transaction boundary."""
+        fired = []
+        gated_system.node("sensor").on_interrupt = lambda n: fired.append(n.name)
+        gated_system.post("cpu", Address.short(0x3, 5), bytes(64))
+        gated_system.node("sensor").trigger_interrupt()
+        gated_system.run_until_idle()
+        assert fired == ["sensor"]
+        assert any(t.tx_node == "cpu" for t in gated_system.transactions)
+        # No null transaction was necessary.
+        assert not any(t.general_error for t in gated_system.transactions)
+
+
+class TestInteroperability:
+    def test_mixed_gated_and_oblivious_nodes(self):
+        """Section 3 'Interoperability': power-conscious and
+        power-oblivious devices share one bus."""
+        system = MBusSystem()
+        system.add_mediator_node("cpu", short_prefix=0x1)
+        system.add_node("old", short_prefix=0x2, power_gated=False)
+        system.add_node("new", short_prefix=0x3, power_gated=True)
+        r1 = system.send("old", Address.short(0x3, 5), b"\x01")
+        r2 = system.send("new", Address.short(0x2, 5), b"\x02")
+        assert r1.ok and r2.ok
+        assert system.node("new").inbox[-1].payload == b"\x01"
+        assert system.node("old").inbox[-1].payload == b"\x02"
+
+    def test_power_oblivious_node_never_gates(self):
+        system = MBusSystem()
+        system.add_mediator_node("cpu", short_prefix=0x1)
+        system.add_node("old", short_prefix=0x2, power_gated=False)
+        system.send("cpu", Address.short(0x2, 5), b"\x01")
+        node = system.node("old")
+        assert node.bus_domain.is_on and node.layer_domain.is_on
+        assert node.bus_domain.wake_count == 1  # initial power-on only
+
+    def test_sleep_api_requires_gated_design(self, three_node_system):
+        with pytest.raises(Exception):
+            three_node_system.node("sensor").sleep()
+
+    def test_explicit_sleep_and_rewake(self):
+        system = MBusSystem()
+        system.add_mediator_node("cpu", short_prefix=0x1)
+        system.add_node("s", short_prefix=0x2, power_gated=True, auto_sleep=False)
+        system.send("cpu", Address.short(0x2, 5), b"\x01")
+        node = system.node("s")
+        assert node.is_fully_awake          # auto_sleep disabled
+        node.sleep()
+        assert not node.bus_domain.is_on
+        result = system.send("cpu", Address.short(0x2, 5), b"\x02")
+        assert result.ok
+        assert node.inbox[-1].payload == b"\x02"

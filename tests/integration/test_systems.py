@@ -1,0 +1,179 @@
+"""End-to-end tests of the two microbenchmark systems (Section 6.3)."""
+
+import pytest
+
+from repro.systems import (
+    ImageTransferAnalysis,
+    ImagerSystem,
+    SenseAndSendAnalysis,
+    TemperatureSystem,
+)
+from repro.systems.chips import CMD_FRAME_ROW, CMD_SAMPLE_REPLY
+
+
+class TestSenseAndSendSimulation:
+    def test_direct_round_bypasses_processor(self):
+        system = TemperatureSystem(direct_to_radio=True)
+        transactions = system.run_round()
+        assert [t.tx_node for t in transactions] == ["cpu", "sensor"]
+        assert transactions[1].rx_nodes == ["radio"]
+        packet = system.radio_packets()[-1]
+        assert packet[0] == CMD_SAMPLE_REPLY
+        assert len(packet) == 8
+
+    def test_relay_round_goes_through_processor(self):
+        system = TemperatureSystem(direct_to_radio=False)
+        transactions = system.run_round()
+        tx_nodes = [t.tx_node for t in transactions]
+        assert tx_nodes == ["cpu", "sensor", "cpu"]
+        assert len(system.radio_packets()) == 1
+
+    def test_sensor_sleeps_between_rounds(self):
+        system = TemperatureSystem()
+        system.run_round()
+        sensor = system.system.node("sensor")
+        assert not sensor.layer_domain.is_on
+        assert not sensor.bus_domain.is_on
+
+    def test_multiple_rounds_give_distinct_readings(self):
+        system = TemperatureSystem()
+        for _ in range(3):
+            system.run_round()
+        packets = system.radio_packets()
+        assert len(packets) == 3
+        readings = {bytes(p[2:6]) for p in packets}
+        assert len(readings) == 3   # synthetic sensor drifts
+
+    def test_radio_never_wakes_processor_layer_in_direct_mode(self):
+        system = TemperatureSystem(direct_to_radio=True)
+        system.run_round()
+        # cpu's inbox only ever sees what was addressed to it: nothing.
+        assert system.system.node("cpu").inbox == []
+
+
+class TestSenseAndSendArithmetic:
+    """The Section 6.3.1 numbers."""
+
+    def setup_method(self):
+        self.analysis = SenseAndSendAnalysis()
+
+    def test_response_is_5_6_nj(self):
+        assert self.analysis.response_energy_nj() == pytest.approx(5.6, abs=0.05)
+
+    def test_direct_saves_6_6_nj(self):
+        assert self.analysis.relay_penalty_nj() == pytest.approx(6.6, abs=0.05)
+
+    def test_saving_is_about_7_percent(self):
+        saving = self.analysis.relay_penalty_nj() / self.analysis.event_energy_nj(
+            direct=False
+        )
+        assert saving == pytest.approx(0.062, abs=0.01)   # "~7 %"
+
+    def test_lifetimes_44_5_and_47_5_days(self):
+        assert self.analysis.lifetime_days(True) == pytest.approx(47.5, abs=0.5)
+        assert self.analysis.lifetime_days(False) == pytest.approx(44.5, abs=0.6)
+
+    def test_gain_is_about_71_hours(self):
+        assert self.analysis.lifetime_gain_hours() == pytest.approx(71, abs=2)
+
+    def test_utilization_0_0022_percent(self):
+        assert self.analysis.bus_utilization() * 100 == pytest.approx(
+            0.0022, abs=0.0002
+        )
+
+    def test_direct_cuts_utilization_about_40_percent(self):
+        assert self.analysis.utilization_reduction_from_direct() == pytest.approx(
+            0.40, abs=0.03
+        )
+
+    def test_ledger_breakdown_totals(self):
+        direct = self.analysis.event_ledger(direct=True)
+        relay = self.analysis.event_ledger(direct=False)
+        assert direct.total_nj == pytest.approx(100.0, abs=0.1)
+        assert relay.total_nj == pytest.approx(106.6, abs=0.1)
+
+
+class TestImagerSimulation:
+    def test_motion_event_streams_rows(self):
+        system = ImagerSystem(rows=4)
+        transactions = system.motion_event()
+        # One null transaction (wakeup) + four row messages.
+        assert sum(1 for t in transactions if t.general_error) == 1
+        assert sum(1 for t in transactions if t.ok) == 4
+        rows = system.received_rows()
+        assert len(rows) == 4
+        assert all(len(r) == 182 for r in rows)  # 180 B + cmd + index
+
+    def test_rows_are_ordered_and_distinct(self):
+        system = ImagerSystem(rows=4)
+        system.motion_event()
+        rows = system.received_rows()
+        assert [r[1] for r in rows] == [0, 1, 2, 3]
+        assert len({bytes(r) for r in rows}) == 4
+        assert all(r[0] == CMD_FRAME_ROW for r in rows)
+
+    def test_imager_wakes_only_on_motion(self):
+        system = ImagerSystem(rows=2)
+        imager_node = system.system.node("imager")
+        assert not imager_node.layer_domain.is_on
+        system.motion_event()
+        assert imager_node.layer_domain.wake_count == 1
+
+    def test_motion_detector_threshold(self):
+        system = ImagerSystem(rows=2)
+        first = system.imager.detect_motion([10, 10, 10])
+        assert first is False                     # no reference frame yet
+        assert system.imager.detect_motion([10, 10, 10]) is False
+        assert system.imager.detect_motion([900, 900, 900]) is True
+
+
+class TestImagerArithmetic:
+    """The Section 6.3.2 numbers."""
+
+    def setup_method(self):
+        self.analysis = ImageTransferAnalysis()
+
+    def test_image_is_28_8_kb(self):
+        assert self.analysis.image_bytes == 28_800
+        assert self.analysis.n_rows == 160
+
+    def test_row_by_row_costs_3021_extra_bits(self):
+        assert self.analysis.mbus_extra_bits_for_rows == 3_021
+
+    def test_row_overhead_is_1_31_percent(self):
+        assert self.analysis.mbus_rows_overhead_fraction * 100 == pytest.approx(
+            1.31, abs=0.02
+        )
+
+    def test_i2c_whole_image_12_5_percent(self):
+        assert self.analysis.i2c_single_overhead_bits == 28_810
+        assert self.analysis.i2c_single_overhead_fraction * 100 == pytest.approx(
+            12.5, abs=0.05
+        )
+
+    def test_i2c_row_by_row_13_2_percent(self):
+        assert self.analysis.i2c_rows_overhead_bits == 30_400
+        assert self.analysis.i2c_rows_overhead_fraction * 100 == pytest.approx(
+            13.2, abs=0.05
+        )
+
+    def test_ack_overhead_reduction_90_to_99_percent(self):
+        rows = self.analysis.ack_overhead_reduction(row_by_row=True)
+        single = self.analysis.ack_overhead_reduction(row_by_row=False)
+        assert 0.90 <= rows <= 0.99
+        assert single > 0.99
+
+    def test_paper_quoted_frame_times(self):
+        """4.2 ms at the top clock, 2.9 s at the bottom — the paper's
+        byte-per-cycle arithmetic, reproduced verbatim."""
+        fast = self.analysis.paper_quoted_frame_time_s(6.67e6)
+        slow = self.analysis.paper_quoted_frame_time_s(10e3)
+        assert fast == pytest.approx(4.3e-3, abs=0.2e-3)
+        assert slow == pytest.approx(2.88, abs=0.05)
+
+    def test_bit_serial_frame_times(self):
+        """The physically consistent bit-serial times are 8x longer."""
+        ratio = self.analysis.frame_time_s(400e3) / (
+            self.analysis.paper_quoted_frame_time_s(400e3)
+        )
+        assert ratio == pytest.approx(8.0, rel=0.01)

@@ -1,0 +1,103 @@
+"""Unit tests for MBus addressing (Sections 4.6, 4.7)."""
+
+import pytest
+
+from repro.core.addresses import (
+    Address,
+    BROADCAST_PREFIX,
+    FULL_ADDR_MARKER,
+    FullPrefix,
+    ShortPrefix,
+)
+from repro.core.errors import AddressError
+
+
+class TestShortPrefix:
+    def test_range(self):
+        assert ShortPrefix(0x5) == 5
+        with pytest.raises(AddressError):
+            ShortPrefix(0x10)
+        with pytest.raises(AddressError):
+            ShortPrefix(-1)
+
+    def test_reserved_prefixes(self):
+        assert ShortPrefix(BROADCAST_PREFIX).is_broadcast
+        assert ShortPrefix(FULL_ADDR_MARKER).is_full_marker
+        assert not ShortPrefix(0x2).is_broadcast
+
+    def test_fourteen_assignable_prefixes(self):
+        """Sections 4.7: 16 minus broadcast minus 0xF leaves 14."""
+        assignable = [p for p in range(16) if ShortPrefix(p).is_assignable]
+        assert len(assignable) == 14
+
+
+class TestFullPrefix:
+    def test_twenty_bit_range(self):
+        FullPrefix((1 << 20) - 1)
+        with pytest.raises(AddressError):
+            FullPrefix(1 << 20)
+
+
+class TestAddressConstruction:
+    def test_requires_exactly_one_prefix(self):
+        with pytest.raises(AddressError):
+            Address(fu_id=0)
+        with pytest.raises(AddressError):
+            Address(fu_id=0, short_prefix=1, full_prefix=1)
+
+    def test_fu_id_range(self):
+        with pytest.raises(AddressError):
+            Address.short(0x2, fu_id=16)
+
+    def test_short_prefix_0xf_rejected(self):
+        with pytest.raises(AddressError):
+            Address.short(0xF, 0)
+
+    def test_broadcast_constructor(self):
+        address = Address.broadcast(3)
+        assert address.is_broadcast
+        assert address.fu_id == 3
+
+
+class TestWireFormat:
+    def test_short_address_is_8_bits(self):
+        assert Address.short(0x2, 0x5).n_bits == 8
+
+    def test_full_address_is_32_bits(self):
+        assert Address.full(0x12345, 0x5).n_bits == 32
+
+    def test_short_encoding_layout(self):
+        assert Address.short(0xA, 0x5).encode() == 0xA5
+
+    def test_full_encoding_has_marker(self):
+        word = Address.full(0x12345, 0x6).encode()
+        assert (word >> 28) == 0xF
+        assert (word >> 8) & 0xFFFFF == 0x12345
+        assert word & 0xF == 0x6
+
+    def test_bits_msb_first(self):
+        bits = Address.short(0x8, 0x1).bits()
+        assert bits == (1, 0, 0, 0, 0, 0, 0, 1)
+
+    def test_roundtrip_short(self):
+        original = Address.short(0x7, 0xC)
+        decoded = Address.decode(original.encode(), 8)
+        assert decoded == original
+
+    def test_roundtrip_full(self):
+        original = Address.full(0xABCDE, 0x3)
+        decoded = Address.decode(original.encode(), 32)
+        assert decoded == original
+
+    def test_decode_full_without_marker_rejected(self):
+        with pytest.raises(AddressError):
+            Address.decode(0x0123_4567, 32)
+
+    def test_decode_odd_width_rejected(self):
+        with pytest.raises(AddressError):
+            Address.decode(0, 16)
+
+    def test_str_forms(self):
+        assert "broadcast" in str(Address.broadcast(1))
+        assert "short" in str(Address.short(2, 1))
+        assert "full" in str(Address.full(0x12345, 1))

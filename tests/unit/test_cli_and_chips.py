@@ -1,0 +1,133 @@
+"""Unit tests for the CLI entry point and the behavioural chips."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core import MBusSystem
+from repro.systems.chips import (
+    CMD_SAMPLE_REPLY,
+    CMD_SAMPLE_REQUEST,
+    FU_APP,
+    ImagerChip,
+    ProcessorSpec,
+    RadioChip,
+    TemperatureSensorChip,
+)
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu -> sensor" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("Figure 9", "Figure 10", "Figure 14", "Figure 15"):
+            assert figure in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for table in ("Table 1", "Table 2", "Table 3"):
+            assert table in out
+
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "71 hours" in out
+
+    def test_vcd(self, tmp_path, capsys):
+        path = str(tmp_path / "out.vcd")
+        assert main(["vcd", path]) == 0
+        assert "$enddefinitions" in open(path).read()
+
+
+class TestProcessorSpec:
+    def test_relay_energy_is_1nj(self):
+        """50 cycles x 20 pJ = 1 nJ (Section 6.3.1)."""
+        assert ProcessorSpec().relay_energy_nj == pytest.approx(1.0)
+
+
+def _bench_system():
+    system = MBusSystem()
+    system.add_mediator_node("cpu", short_prefix=0x1)
+    system.add_node("sensor", short_prefix=0x2)
+    system.add_node("radio", short_prefix=0x3)
+    system.build()
+    return system
+
+
+class TestTemperatureSensorChip:
+    def test_ignores_malformed_requests(self):
+        system = _bench_system()
+        chip = TemperatureSensorChip(system.node("sensor"))
+        from repro.core import Address
+
+        system.send("cpu", Address.short(0x2, FU_APP), b"\x99\x01")
+        assert chip.samples_taken == 0
+
+    def test_reply_is_8_bytes_to_named_destination(self):
+        system = _bench_system()
+        TemperatureSensorChip(system.node("sensor"))
+        RadioChip(system.node("radio"))
+        from repro.core import Address
+
+        request = bytes([CMD_SAMPLE_REQUEST, 0x3, FU_APP, 7])
+        system.send("cpu", Address.short(0x2, FU_APP), request)
+        system.run_until_idle()
+        packet = system.node("radio").layer.inbox[-1].payload
+        assert len(packet) == 8
+        assert packet[0] == CMD_SAMPLE_REPLY
+        assert packet[1] == 7   # sequence echoed
+
+    def test_readings_drift_deterministically(self):
+        system = _bench_system()
+        chip = TemperatureSensorChip(system.node("sensor"))
+        first = [chip.read_temperature() for _ in range(5)]
+        chip2 = TemperatureSensorChip(_bench_system().node("sensor"))
+        second = [chip2.read_temperature() for _ in range(5)]
+        assert first == second
+        assert len(set(first)) > 1
+
+
+class TestImagerChip:
+    def _chip(self, rows=2):
+        system = MBusSystem()
+        system.add_mediator_node("cpu", short_prefix=0x1)
+        system.add_node("imager", short_prefix=0x2)
+        system.add_node("radio", short_prefix=0x3)
+        system.build()
+        return ImagerChip(system.node("imager"), radio_prefix=0x3, rows=rows)
+
+    def test_geometry(self):
+        chip = self._chip()
+        assert chip.row_bits == 1_440         # 160 px x 9 bit
+        assert chip.row_bytes == 180
+        assert ImagerChip.ROWS * chip.row_bytes == 28_800
+
+    def test_rows_are_packed_9bit_pixels(self):
+        chip = self._chip()
+        row = chip.capture_row(0)
+        assert len(row) == 180
+
+    def test_rows_differ(self):
+        chip = self._chip()
+        assert chip.capture_row(0) != chip.capture_row(1)
+
+    def test_motion_detection_needs_reference(self):
+        chip = self._chip()
+        assert not chip.detect_motion([0, 0])
+        assert chip.detect_motion([5_000, 5_000])
+
+
+class TestRadioChip:
+    def test_accumulates_bytes_and_energy(self):
+        system = _bench_system()
+        radio = RadioChip(system.node("radio"), nj_per_transmitted_byte=2.0)
+        from repro.core import Address
+
+        system.send("cpu", Address.short(0x3, FU_APP), bytes(10))
+        assert radio.transmitted_bytes == 10
+        assert radio.radio_energy_nj() == pytest.approx(20.0)

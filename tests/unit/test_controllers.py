@@ -1,0 +1,312 @@
+"""Unit tests for the wire controller, interjection detector, power
+domains, and layer controller — the Figure 8 building blocks."""
+
+import pytest
+
+from repro.core.addresses import Address
+from repro.core.interjection import InterjectionDetector
+from repro.core.layer_controller import (
+    FU_MEMORY_WRITE,
+    FU_REGISTER,
+    GenericLayerController,
+)
+from repro.core.messages import ReceivedMessage
+from repro.core.power_domain import PowerDomain, WakeupSequencer
+from repro.core.wire_controller import LineController
+from repro.sim.scheduler import NS, Simulator
+from repro.sim.signals import Net
+
+
+def _line(sim):
+    a = Net(sim, "in")
+    b = Net(sim, "out")
+    ctl = LineController(a, b, forward_delay_ps=10 * NS, drive_delay_ps=NS)
+    return a, b, ctl
+
+
+class TestLineController:
+    def test_forwards_by_default(self):
+        sim = Simulator()
+        a, b, _ = _line(sim)
+        a.set(0)
+        sim.run()
+        assert b.value == 0
+
+    def test_forwarding_has_propagation_delay(self):
+        sim = Simulator()
+        a, b, _ = _line(sim)
+        a.set(0)
+        assert b.value == 1          # not yet propagated
+        sim.run()
+        assert b.value == 0
+
+    def test_drive_breaks_the_chain(self):
+        sim = Simulator()
+        a, b, ctl = _line(sim)
+        ctl.drive(1)
+        a.set(0)
+        sim.run()
+        assert b.value == 1          # input ignored while driving
+
+    def test_resume_forwarding_snaps_to_input(self):
+        sim = Simulator()
+        a, b, ctl = _line(sim)
+        ctl.drive(1)
+        a.set(0)
+        sim.run()
+        ctl.forward()
+        sim.run()
+        assert b.value == 0
+
+    def test_hold_freezes_output(self):
+        sim = Simulator()
+        a, b, ctl = _line(sim)
+        ctl.hold()
+        a.set(0)
+        sim.run()
+        assert b.value == 1          # held high: the interjection request
+
+    def test_transition_counters(self):
+        sim = Simulator()
+        a, b, ctl = _line(sim)
+        a.set(0)
+        sim.run()
+        a.set(1)
+        sim.run()
+        assert ctl.forward_transitions == 2
+        ctl.drive(0)
+        sim.run()
+        assert ctl.drive_transitions == 1
+
+
+class TestInterjectionDetector:
+    def _setup(self, threshold=3):
+        sim = Simulator()
+        data = Net(sim, "data")
+        clk = Net(sim, "clk")
+        hits = []
+        det = InterjectionDetector(
+            data, clk, threshold=threshold, on_detect=lambda: hits.append(1)
+        )
+        return sim, data, clk, det, hits
+
+    def test_counts_data_toggles(self):
+        _, data, _, det, hits = self._setup()
+        data.set(0)
+        data.set(1)
+        assert det.count == 2
+        assert hits == []
+        data.set(0)
+        assert hits == [1]
+        assert det.detected
+
+    def test_clk_edge_resets_count(self):
+        """The counter is clocked by DATA and reset by CLK (4.9)."""
+        _, data, clk, det, hits = self._setup()
+        data.set(0)
+        data.set(1)
+        clk.set(0)
+        assert det.count == 0
+        data.set(0)
+        data.set(1)
+        assert hits == []
+
+    def test_saturates_without_refiring(self):
+        _, data, _, det, hits = self._setup(threshold=2)
+        for value in (0, 1, 0, 1, 0):
+            data.set(value)
+        assert hits == [1]
+
+    def test_rearms_after_clk(self):
+        _, data, clk, det, hits = self._setup(threshold=2)
+        data.set(0)
+        data.set(1)
+        clk.set(0)
+        data.set(0)
+        data.set(1)
+        assert hits == [1, 1]
+
+    def test_threshold_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            InterjectionDetector(Net(sim, "d"), Net(sim, "c"), threshold=0)
+
+
+class TestPowerDomain:
+    def test_always_on_starts_on(self):
+        domain = PowerDomain(Simulator(), "ao", always_on=True)
+        assert domain.is_on
+        with pytest.raises(ValueError):
+            domain.power_off("no")
+
+    def test_on_off_accounting(self):
+        sim = Simulator()
+        domain = PowerDomain(sim, "d")
+        sim.advance(100)
+        domain.power_on("test")
+        sim.advance(50)
+        domain.power_off("test")
+        sim.advance(100)
+        assert domain.on_time_ps == 50
+        assert domain.wake_count == 1
+
+    def test_open_interval_counted(self):
+        sim = Simulator()
+        domain = PowerDomain(sim, "d")
+        domain.power_on("test")
+        sim.advance(30)
+        assert domain.total_on_time_ps() == 30
+
+    def test_double_on_is_noop(self):
+        domain = PowerDomain(Simulator(), "d")
+        domain.power_on("a")
+        domain.power_on("b")
+        assert domain.wake_count == 1
+
+
+class TestWakeupSequencer:
+    def test_four_edges_to_wake(self):
+        """Section 3: release power gate, clock, isolation, reset."""
+        sim = Simulator()
+        domain = PowerDomain(sim, "bus")
+        woken = []
+        seq = WakeupSequencer(domain, on_awake=lambda: woken.append(1))
+        seq.arm("test")
+        for i in range(3):
+            seq.edge()
+            assert not domain.is_on, f"woke after only {i + 1} edges"
+        seq.edge()
+        assert domain.is_on
+        assert woken == [1]
+
+    def test_wakeup_steps_logged_in_order(self):
+        sim = Simulator()
+        domain = PowerDomain(sim, "bus")
+        seq = WakeupSequencer(domain)
+        seq.arm("rx")
+        for _ in range(4):
+            seq.edge()
+        steps = [e.action for e in domain.log if e.action.startswith("release")]
+        assert steps == [
+            "release_power_gate",
+            "release_clock",
+            "release_isolation",
+            "release_reset",
+        ]
+
+    def test_rearm_mid_sequence_does_not_reset(self):
+        sim = Simulator()
+        domain = PowerDomain(sim, "bus")
+        seq = WakeupSequencer(domain)
+        seq.arm("first")
+        seq.edge()
+        seq.edge()
+        seq.arm("again")      # must be a no-op
+        seq.edge()
+        seq.edge()
+        assert domain.is_on
+
+    def test_edges_without_arm_ignored(self):
+        domain = PowerDomain(Simulator(), "bus")
+        seq = WakeupSequencer(domain)
+        for _ in range(10):
+            seq.edge()
+        assert not domain.is_on
+
+    def test_arm_when_on_is_noop(self):
+        domain = PowerDomain(Simulator(), "bus")
+        domain.power_on("pre")
+        seq = WakeupSequencer(domain)
+        seq.arm("x")
+        assert not seq.armed
+
+
+def _message(fu_id, payload, broadcast=False):
+    if broadcast:
+        dest = Address.broadcast(fu_id)
+    else:
+        dest = Address.short(0x2, fu_id)
+    return ReceivedMessage(
+        source_hint="", dest=dest, payload=payload, broadcast=broadcast
+    )
+
+
+class TestLayerController:
+    def test_register_write(self):
+        layer = GenericLayerController()
+        payload = bytes([7]) + (0xABCDEF).to_bytes(3, "big")
+        layer.deliver(_message(FU_REGISTER, payload))
+        assert layer.registers[7] == 0xABCDEF
+        assert layer.register_writes[0].address == 7
+
+    def test_multiple_register_records(self):
+        layer = GenericLayerController()
+        payload = bytes([1, 0, 0, 5, 2, 0, 0, 9])
+        layer.deliver(_message(FU_REGISTER, payload))
+        assert layer.registers[1] == 5
+        assert layer.registers[2] == 9
+
+    def test_malformed_register_write_recorded_not_raised(self):
+        layer = GenericLayerController()
+        layer.deliver(_message(FU_REGISTER, b"\x01\x02"))
+        assert len(layer.malformed) == 1
+
+    def test_memory_write(self):
+        layer = GenericLayerController(memory_words=16)
+        payload = (2).to_bytes(4, "big") + (0xDEADBEEF).to_bytes(4, "big")
+        layer.deliver(_message(FU_MEMORY_WRITE, payload))
+        assert layer.memory[2] == 0xDEADBEEF
+
+    def test_memory_overrun_recorded(self):
+        layer = GenericLayerController(memory_words=2)
+        payload = (1).to_bytes(4, "big") + bytes(8)
+        layer.deliver(_message(FU_MEMORY_WRITE, payload))
+        assert len(layer.malformed) == 1
+
+    def test_memory_read_helper(self):
+        layer = GenericLayerController(memory_words=4)
+        layer.memory[1] = 42
+        assert layer.read_memory(1, 1) == [42]
+
+    def test_app_handler_dispatch(self):
+        layer = GenericLayerController()
+        seen = []
+        layer.register_handler(5, lambda m: seen.append(m.payload))
+        layer.deliver(_message(5, b"\x01"))
+        assert seen == [b"\x01"]
+
+    def test_reserved_fu_cannot_be_claimed(self):
+        layer = GenericLayerController()
+        with pytest.raises(Exception):
+            layer.register_handler(FU_REGISTER, lambda m: None)
+
+    def test_broadcast_goes_to_channel_handler(self):
+        """Broadcast channels are a separate namespace from FU-IDs."""
+        layer = GenericLayerController()
+        seen = []
+        layer.register_broadcast_handler(5, lambda m: seen.append(m.broadcast))
+        layer.deliver(_message(5, b"", broadcast=True))
+        assert seen == [True]
+
+    def test_broadcast_channel_can_shadow_reserved_fu(self):
+        layer = GenericLayerController()
+        seen = []
+        layer.register_broadcast_handler(
+            FU_REGISTER, lambda m: seen.append("bcast")
+        )
+        layer.deliver(_message(FU_REGISTER, b"", broadcast=True))
+        assert seen == ["bcast"]
+
+    def test_unicast_does_not_hit_broadcast_handler(self):
+        layer = GenericLayerController()
+        seen = []
+        layer.register_broadcast_handler(5, lambda m: seen.append(1))
+        layer.deliver(_message(5, b"\x01"))
+        assert seen == []
+
+    def test_on_message_observer(self):
+        layer = GenericLayerController()
+        seen = []
+        layer.on_message = lambda m: seen.append(m)
+        layer.deliver(_message(9, b"\x00"))
+        assert len(seen) == 1

@@ -1,0 +1,169 @@
+"""Unit tests for the power/energy models (Section 6.2 / Table 3)."""
+
+import pytest
+
+from repro.power import (
+    ActivityEnergyModel,
+    Battery,
+    EnergyLedger,
+    MeasuredEnergyModel,
+    RoleEnergy,
+    SimulatedEnergyModel,
+)
+from repro.power.battery import (
+    IMAGER_SYSTEM_BATTERY,
+    TEMPERATURE_SYSTEM_BATTERY,
+)
+from repro.power.energy_model import MEASURED_OVERHEAD_FACTOR
+from repro.power.power_states import (
+    StandbyProfile,
+    mbus_standby_meets_requirement,
+    system_standby_nw,
+)
+
+
+class TestSimulatedModel:
+    def test_paper_constants(self):
+        model = SimulatedEnergyModel()
+        assert model.pj_per_bit_per_chip == 3.5
+        assert model.idle_pw_per_chip == 5.6
+
+    def test_message_energy_formula(self):
+        """E = 3.5 pJ x (19 + 8n) x chips."""
+        model = SimulatedEnergyModel()
+        assert model.message_energy_pj(8, 3) == pytest.approx(3.5 * 83 * 3)
+
+    def test_idle_power_scales_with_chips(self):
+        assert SimulatedEnergyModel().idle_power_pw(3) == pytest.approx(16.8)
+
+    def test_two_chip_minimum(self):
+        with pytest.raises(ValueError):
+            SimulatedEnergyModel().system_pj_per_bit(1)
+
+
+class TestMeasuredModel:
+    def test_table3_roles(self):
+        roles = MeasuredEnergyModel().roles
+        assert roles.tx == 27.45
+        assert roles.rx == 22.71
+        assert roles.fwd == 17.55
+
+    def test_table3_average(self):
+        """The headline 22.6 pJ/bit/chip."""
+        assert MeasuredEnergyModel().average_pj_per_bit() == pytest.approx(
+            22.6, abs=0.05
+        )
+
+    def test_three_chip_message_is_5_6_nj(self):
+        """Section 6.3.1's (64+19) x 67.71 pJ = 5.6 nJ."""
+        energy_nj = MeasuredEnergyModel().message_energy_pj(8, 3) * 1e-3
+        assert energy_nj == pytest.approx(5.6, abs=0.05)
+
+    def test_overhead_factor_is_about_6_5x(self):
+        """The paper attributes a ~6.5x sim-vs-measured gap to
+        un-isolatable system overhead."""
+        assert MEASURED_OVERHEAD_FACTOR == pytest.approx(6.5, abs=0.1)
+
+    def test_fourteen_node_power_at_speed(self):
+        """Figure 11a's top MBus curve: 1 TX + 1 RX + 12 FWD."""
+        model = MeasuredEnergyModel()
+        per_bit = model.system_pj_per_bit(14)
+        assert per_bit == pytest.approx(27.45 + 22.71 + 12 * 17.55)
+
+    def test_role_energy_receiver_validation(self):
+        roles = RoleEnergy(tx=1, rx=1, fwd=1)
+        with pytest.raises(ValueError):
+            roles.system_pj_per_bit(3, n_receivers=3)
+
+    def test_goodput_energy_decreases_with_length(self):
+        model = MeasuredEnergyModel()
+        costs = [model.energy_per_goodput_bit_pj(n, 3) for n in (1, 4, 16, 64)]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestActivityModel:
+    def test_segment_capacitance(self):
+        model = ActivityEnergyModel()
+        assert model.segment_capacitance_pf == pytest.approx(4.25)
+
+    def test_transition_energy(self):
+        model = ActivityEnergyModel()
+        expected = 0.5 * 4.25 * 1.2 ** 2
+        assert model.energy_per_transition_pj() == pytest.approx(expected)
+
+    def test_system_energy_sums_nodes(self):
+        model = ActivityEnergyModel()
+        energy = model.system_energy_pj({"a": 10, "b": 10})
+        assert energy == pytest.approx(20 * model.energy_per_transition_pj())
+
+
+class TestBattery:
+    def test_paper_capacity_approximation(self):
+        """2 uAh x 3.8 V = 27.4 mJ (Section 6.3.1)."""
+        assert TEMPERATURE_SYSTEM_BATTERY.energy_mj == pytest.approx(27.36, abs=0.1)
+
+    def test_imager_battery(self):
+        assert IMAGER_SYSTEM_BATTERY.capacity_uah == 5.0
+
+    def test_lifetime_days(self):
+        battery = Battery(capacity_uah=2.0, voltage=3.8)
+        days = battery.lifetime_days_for_events(100.0, 15.0)
+        assert days == pytest.approx(47.5, abs=0.5)
+
+    def test_standby_power_shortens_lifetime(self):
+        battery = Battery(capacity_uah=2.0, voltage=3.8)
+        with_standby = battery.lifetime_days_for_events(100.0, 15.0, 8.0)
+        assert with_standby < battery.lifetime_days_for_events(100.0, 15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_uah=0, voltage=3.8)
+        with pytest.raises(ValueError):
+            Battery(2, 3.8).lifetime_s(0)
+
+
+class TestStandby:
+    def test_mbus_meets_100pw_budget(self):
+        """5.6 pW/chip x 14 = 78.4 pW < 100 pW requirement."""
+        assert mbus_standby_meets_requirement(14)
+
+    def test_mbus_negligible_in_8nw_system(self):
+        """MBus is 3 orders of magnitude below the system's 8 nW."""
+        profile = StandbyProfile("temp-system-chip", chip_standby_nw=8.0 / 3)
+        assert profile.mbus_fraction < 0.01
+
+    def test_system_standby_sum(self):
+        profiles = [StandbyProfile(f"chip{i}", 2.66) for i in range(3)]
+        assert system_standby_nw(profiles) == pytest.approx(8.0, abs=0.1)
+
+
+class TestLedger:
+    def test_totals_and_fractions(self):
+        ledger = EnergyLedger()
+        ledger.add("a", 75.0)
+        ledger.add("b", 25.0)
+        assert ledger.total_nj == 100.0
+        assert ledger.fraction("a") == 0.75
+
+    def test_accumulation_under_same_name(self):
+        ledger = EnergyLedger()
+        ledger.add("bus", 1.0)
+        ledger.add("bus", 2.0)
+        assert ledger["bus"] == 3.0
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        merged = a.merge(b)
+        assert merged["x"] == 3.0 and merged["y"] == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().add("x", -1.0)
+
+    def test_summary_renders(self):
+        ledger = EnergyLedger()
+        ledger.add("bus", 5.0)
+        assert "bus" in ledger.summary()

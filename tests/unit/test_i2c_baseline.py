@@ -1,0 +1,139 @@
+"""Unit tests for the I2C baselines against the Section 2.1 analysis."""
+
+import pytest
+
+from repro.baselines.i2c import I2CElectrical, OracleI2C, StandardI2C
+from repro.baselines.lee_i2c import LeeI2C
+from repro.power.energy_model import MeasuredEnergyModel, SimulatedEnergyModel
+
+
+class TestSection21Analysis:
+    """The paper's worked example: 1.2 V, 50 pF, 400 kHz fast mode,
+    rise relaxed to the full half cycle, 80 % VDD as logical 1."""
+
+    def setup_method(self):
+        self.e = I2CElectrical()
+
+    def test_pullup_no_greater_than_15_5_kohm(self):
+        assert self.e.max_pullup_ohms == pytest.approx(15_500, rel=0.01)
+
+    def test_cap_dump_23pj(self):
+        assert self.e.cap_dump_pj == pytest.approx(23, abs=0.5)
+
+    def test_resistor_low_116pj(self):
+        assert self.e.resistor_low_pj == pytest.approx(116, abs=1.0)
+
+    def test_resistor_rise_35pj(self):
+        assert self.e.resistor_rise_pj == pytest.approx(35, abs=0.5)
+
+    def test_clock_power_69_6uw(self):
+        assert self.e.clock_power_uw == pytest.approx(69.6, abs=0.5)
+
+    def test_pullup_loss_151pj_per_bit(self):
+        """The energy MBus eliminates."""
+        assert self.e.pullup_loss_per_bit_pj == pytest.approx(151, abs=1.0)
+
+    def test_mbus_gain_is_three_orders_of_magnitude_possible(self):
+        """Section 2.1: open-collector designs can be up to three
+        orders of magnitude worse per bit than MBus's 3.5 pJ sim."""
+        ratio = self.e.clock_cycle_energy_pj / 3.5
+        assert ratio > 40   # per-chip; system-level gaps reach 1000x
+
+
+class TestStandardI2C:
+    def test_overhead_is_10_plus_n(self):
+        bus = StandardI2C()
+        assert bus.overhead_bits(0) == 10
+        assert bus.overhead_bits(12) == 22
+
+    def test_power_linear_in_frequency(self):
+        bus = StandardI2C()
+        assert bus.power_uw(800_000) == pytest.approx(2 * bus.power_uw(400_000))
+
+    def test_data_line_adds_energy(self):
+        bus = StandardI2C()
+        assert bus.cycle_energy_pj(0.5) > bus.cycle_energy_pj(0.0)
+
+    def test_goodput_energy_infinite_at_zero(self):
+        assert StandardI2C().energy_per_goodput_bit_pj(0) == float("inf")
+
+
+class TestOracleI2C:
+    def test_capacitance_scales_with_population(self):
+        assert OracleI2C(14).line_capacitance_pf == pytest.approx(31.5)
+        assert OracleI2C(2).line_capacitance_pf == pytest.approx(4.5)
+
+    def test_per_cycle_energy_frequency_independent(self):
+        oracle = OracleI2C(14)
+        e1 = oracle.electrical_at(100_000)
+        e2 = oracle.electrical_at(5_000_000)
+        assert e1.clock_cycle_energy_pj == pytest.approx(
+            e2.clock_cycle_energy_pj, rel=1e-9
+        )
+
+    def test_oracle_beats_standard_i2c(self):
+        """Figure 11a ordering: Oracle I2C below standard I2C."""
+        standard = StandardI2C()
+        for n in (2, 14):
+            assert OracleI2C(n).power_uw(400_000) < standard.power_uw(400_000)
+
+    def test_simulated_mbus_beats_oracle_everywhere(self):
+        """Figure 11b: 'Our simulated MBus outperforms the simulated
+        Oracle I2C for all payload lengths.'"""
+        mbus = SimulatedEnergyModel()
+        for n_nodes in (2, 14):
+            oracle = OracleI2C(n_nodes)
+            for n_bytes in range(1, 13):
+                assert (
+                    mbus.energy_per_goodput_bit_pj(n_bytes, n_nodes)
+                    < oracle.energy_per_goodput_bit_pj(n_bytes)
+                )
+
+    def test_measured_mbus_suffers_for_short_messages(self):
+        """Figure 11b: measured MBus loses for 1-2 byte messages and
+        systems should coalesce messages.  Apples-to-apples means the
+        I2C chips carry the same measured-system overhead."""
+        mbus = MeasuredEnergyModel()
+        oracle = OracleI2C.measured_grade(2)
+        short = mbus.energy_per_goodput_bit_pj(1, 2)
+        long = mbus.energy_per_goodput_bit_pj(12, 2)
+        assert short > 2.5 * long   # steep penalty at short lengths
+        # Measured MBus beats measured-grade oracle once messages grow.
+        assert (
+            mbus.energy_per_goodput_bit_pj(12, 2)
+            < oracle.energy_per_goodput_bit_pj(12)
+        )
+        # ... but not for the shortest messages.
+        assert (
+            mbus.energy_per_goodput_bit_pj(1, 2)
+            > mbus.energy_per_goodput_bit_pj(12, 2)
+        )
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            OracleI2C(1)
+
+
+class TestLeeI2C:
+    def test_88pj_per_bit_four_times_mbus(self):
+        lee = LeeI2C()
+        assert lee.pj_per_bit == pytest.approx(4 * 22.0, rel=0.05)
+
+    def test_requires_5x_internal_clock(self):
+        assert LeeI2C().internal_clock_hz(400_000) == 2_000_000
+
+    def test_not_synthesizable(self):
+        assert not LeeI2C().synthesizable
+
+    def test_wakeup_sequence_needed_without_power_knowledge(self):
+        lee = LeeI2C()
+        assert lee.wakeup_overhead_bits(know_power_state=False) > 0
+        assert lee.wakeup_overhead_bits(know_power_state=True) == 0
+
+    def test_energy_between_mbus_and_standard_i2c(self):
+        """Lee reduces bus energy to 88 pJ/bit — better than standard
+        I2C, 4x worse than MBus (Section 2.2)."""
+        lee = LeeI2C()
+        standard = I2CElectrical()
+        assert lee.pj_per_bit < standard.clock_cycle_energy_pj
+        assert lee.pj_per_bit > 3.5

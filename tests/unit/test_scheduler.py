@@ -1,0 +1,141 @@
+"""Unit tests for the event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import NS, Simulator, SimulationError, US
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5 * NS, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5 * NS]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abcde":
+            sim.schedule(7, lambda n=name: order.append(n))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_zero_delay_event_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(42, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [42]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(sim.now)
+            if depth:
+                sim.schedule(10, lambda: chain(depth - 1))
+
+        sim.schedule(10, lambda: chain(3))
+        sim.run()
+        assert seen == [10, 20, 30, 40]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(True))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_twice_is_safe(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(10, lambda: None)
+        drop = sim.schedule(20, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        sim.run()
+
+
+class TestRunControl:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run(until=50)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_advance_moves_time_even_with_no_events(self):
+        sim = Simulator()
+        sim.advance(3 * US)
+        assert sim.now == 3 * US
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_runaway_loop_raises(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(1, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

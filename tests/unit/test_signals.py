@@ -1,0 +1,128 @@
+"""Unit tests for nets, edges, and the tracer."""
+
+from repro.sim.scheduler import NS, Simulator
+from repro.sim.signals import EdgeType, Net, connect
+from repro.sim.tracer import Tracer
+
+
+class TestNet:
+    def test_initial_value_defaults_high(self):
+        sim = Simulator()
+        assert Net(sim, "n").value == 1
+
+    def test_immediate_set(self):
+        sim = Simulator()
+        net = Net(sim, "n")
+        net.set(0)
+        assert net.value == 0
+
+    def test_delayed_set(self):
+        sim = Simulator()
+        net = Net(sim, "n")
+        net.set(0, delay=5 * NS)
+        assert net.value == 1
+        sim.run()
+        assert net.value == 0
+
+    def test_edge_callback_fires_with_polarity(self):
+        sim = Simulator()
+        net = Net(sim, "n")
+        edges = []
+        net.on_edge(lambda n, e: edges.append((n.value, e)))
+        net.set(0)
+        net.set(1)
+        assert edges == [(0, EdgeType.FALLING), (1, EdgeType.RISING)]
+
+    def test_no_callback_on_same_value(self):
+        sim = Simulator()
+        net = Net(sim, "n")
+        edges = []
+        net.on_edge(lambda n, e: edges.append(e))
+        net.set(1)
+        net.set(1)
+        assert edges == []
+
+    def test_pending_transition_superseded(self):
+        """A later drive cancels an in-flight one (glitch resolution)."""
+        sim = Simulator()
+        net = Net(sim, "n")
+        edges = []
+        net.on_edge(lambda n, e: edges.append((sim.now, n.value)))
+        net.set(0, delay=10 * NS)
+        net.set(1, delay=2 * NS)   # driver changed its mind
+        sim.run()
+        assert net.value == 1
+        assert edges == []          # value never actually changed
+
+    def test_truthy_values_normalised(self):
+        sim = Simulator()
+        net = Net(sim, "n", initial=0)
+        net.set(5)
+        assert net.value == 1
+
+    def test_connect_relays_with_delay(self):
+        sim = Simulator()
+        a, b = Net(sim, "a"), Net(sim, "b")
+        connect(a, b, delay=3 * NS)
+        a.set(0)
+        assert b.value == 1
+        sim.run()
+        assert b.value == 0
+
+
+class TestEdgeType:
+    def test_of(self):
+        assert EdgeType.of(0, 1) is EdgeType.RISING
+        assert EdgeType.of(1, 0) is EdgeType.FALLING
+
+
+class TestTracer:
+    def _traced_net(self):
+        sim = Simulator()
+        net = Net(sim, "sig")
+        tracer = Tracer()
+        tracer.watch(net)
+        return sim, net, tracer
+
+    def test_records_transitions_in_order(self):
+        sim, net, tracer = self._traced_net()
+        net.set(0, delay=10)
+        sim.run()
+        net.set(1, delay=10)
+        sim.run()
+        values = [t.value for t in tracer.edges_of("sig")]
+        assert values == [0, 1]
+
+    def test_count_edges_by_polarity(self):
+        sim, net, tracer = self._traced_net()
+        for value in (0, 1, 0):
+            net.set(value, delay=10)
+            sim.run()
+        assert tracer.count_edges("sig") == 3
+        assert tracer.count_edges("sig", EdgeType.FALLING) == 2
+        assert tracer.count_edges("sig", EdgeType.RISING) == 1
+
+    def test_value_at_reconstructs_history(self):
+        sim, net, tracer = self._traced_net()
+        net.set(0, delay=10)
+        sim.run()
+        net.set(1, delay=10)
+        sim.run()
+        assert tracer.value_at("sig", 5) == 1
+        assert tracer.value_at("sig", 15) == 0
+        assert tracer.value_at("sig", 25) == 1
+
+    def test_value_at_unknown_net_raises(self):
+        _, _, tracer = self._traced_net()
+        try:
+            tracer.value_at("other", 0)
+        except KeyError:
+            return
+        raise AssertionError("expected KeyError")
+
+    def test_ascii_waveform_renders(self):
+        sim, net, tracer = self._traced_net()
+        net.set(0, delay=10)
+        sim.run()
+        art = tracer.ascii_waveform(["sig"], step=5)
+        assert "sig" in art and "#" in art and "_" in art

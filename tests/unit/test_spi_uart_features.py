@@ -1,0 +1,117 @@
+"""Unit tests for SPI/UART baselines and the Table 1 feature matrix."""
+
+import pytest
+
+from repro.baselines.features import (
+    FEATURE_MATRIX,
+    PowerLevel,
+    buses_satisfying_all_critical,
+)
+from repro.baselines.spi import DaisyChainedSPI, SPIBus
+from repro.baselines.uart import UARTLink
+
+
+class TestSPI:
+    def test_pads_scale_with_slaves(self):
+        """Table 1: 3 + n chip-select lines."""
+        assert SPIBus(1).io_pads == 4
+        assert SPIBus(11).io_pads == 14
+
+    def test_overhead_is_two_bits(self):
+        assert SPIBus(1).overhead_bits(100) == 2
+
+    def test_no_slave_initiation(self):
+        bus = SPIBus(4)
+        assert not bus.supports_slave_initiation
+        assert bus.interrupt_lines_needed(3) == 3
+
+    def test_slave_to_slave_more_than_doubles_cost(self):
+        """Section 2.3: sent twice plus central-controller energy."""
+        bus = SPIBus(4)
+        direct = bus.master_to_slave_energy_pj(8)
+        relayed = bus.slave_to_slave_energy_pj(8)
+        assert relayed > 2 * direct
+
+    def test_needs_a_slave(self):
+        with pytest.raises(ValueError):
+            SPIBus(0)
+
+
+class TestDaisyChain:
+    def test_shift_overhead_proportional_to_buffers(self):
+        chain = DaisyChainedSPI(buffer_bits_per_device=[32, 32, 64])
+        assert chain.shift_overhead_bits() == 128
+        assert chain.n_devices == 3
+
+    def test_fixed_pads(self):
+        assert DaisyChainedSPI([8, 8]).io_pads == 3
+
+    def test_transfer_includes_payload(self):
+        chain = DaisyChainedSPI([16, 16])
+        assert chain.transfer_cycles(4) == 32 + 32
+
+
+class TestUART:
+    def test_one_stop_overhead(self):
+        assert UARTLink(stop_bits=1).overhead_bits(10) == 20
+
+    def test_two_stop_overhead(self):
+        assert UARTLink(stop_bits=2).overhead_bits(10) == 30
+
+    def test_parity_adds_a_bit(self):
+        assert UARTLink(stop_bits=1, parity=True).overhead_bits(10) == 30
+
+    def test_pads_pairwise(self):
+        assert UARTLink.io_pads(5) == 10
+
+    def test_efficiency(self):
+        link = UARTLink(stop_bits=1)
+        assert link.efficiency(10) == pytest.approx(0.8)
+        assert link.efficiency(0) == 0.0
+
+    def test_stop_bits_validation(self):
+        with pytest.raises(ValueError):
+            UARTLink(stop_bits=3)
+
+
+class TestFeatureMatrix:
+    def test_table1_buses_present(self):
+        assert set(FEATURE_MATRIX) == {"I2C", "SPI", "UART", "Lee-I2C", "MBus"}
+
+    def test_only_mbus_satisfies_all_critical(self):
+        """Table 1's punch line."""
+        assert buses_satisfying_all_critical() == ["MBus"]
+
+    def test_mbus_satisfies_desirable_features_too(self):
+        assert FEATURE_MATRIX["MBus"].satisfies_all()
+
+    def test_mbus_pads_fixed_at_four(self):
+        mbus = FEATURE_MATRIX["MBus"]
+        assert mbus.io_pads(2) == mbus.io_pads(14) == 4
+
+    def test_spi_pads_population_dependent(self):
+        assert not FEATURE_MATRIX["SPI"].population_independent_pads()
+
+    def test_i2c_fails_on_active_power(self):
+        i2c = FEATURE_MATRIX["I2C"]
+        assert i2c.active_power is PowerLevel.HIGH
+        assert not i2c.satisfies_critical()
+
+    def test_lee_fails_on_synthesizability(self):
+        lee = FEATURE_MATRIX["Lee-I2C"]
+        assert not lee.synthesizable
+        assert not lee.satisfies_critical()
+
+    def test_address_spaces(self):
+        """Table 1: I2C 128, MBus 2^24."""
+        assert FEATURE_MATRIX["I2C"].global_unique_addresses == 128
+        assert FEATURE_MATRIX["MBus"].global_unique_addresses == 2 ** 24
+
+    def test_only_mbus_is_power_aware(self):
+        aware = [n for n, f in FEATURE_MATRIX.items() if f.power_aware]
+        assert aware == ["MBus"]
+
+    def test_overhead_expressions(self):
+        assert FEATURE_MATRIX["I2C"].overhead_bits(8) == 18
+        assert FEATURE_MATRIX["MBus"].overhead_bits(8) == 19
+        assert FEATURE_MATRIX["SPI"].overhead_bits(8) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the Table 2 area model and the Section 6.6 bitbang."""
+
+import pytest
+
+from repro.bitbang import (
+    analyze_i2c_bitbang,
+    analyze_mbus_bitbang,
+    i2c_bitbang_isr,
+    max_bus_clock_hz,
+    mbus_edge_isr,
+)
+from repro.bitbang.mcu import Msp430Costs, Program, isr_wrap
+from repro.synthesis import (
+    MBUS_MODULES,
+    MBUS_TOTAL,
+    OTHER_BUSES,
+    fit_area_library,
+    mbus_total_area_um2,
+)
+from repro.synthesis.area_model import (
+    integration_overhead_um2,
+    mbus_component_sum_um2,
+    mbus_required_only_area_um2,
+    table2_rows,
+)
+
+
+class TestTable2Database:
+    def test_bus_controller_row(self):
+        bc = MBUS_MODULES["bus_controller"]
+        assert (bc.verilog_sloc, bc.gates, bc.flip_flops) == (947, 1314, 207)
+        assert bc.area_um2 == 27_376.0
+
+    def test_total_row(self):
+        assert MBUS_TOTAL.gates == 1367
+        assert mbus_total_area_um2() == 37_200.0
+
+    def test_integration_overhead_positive_and_small(self):
+        """Table 2 footnote: total includes a small integration area."""
+        overhead = integration_overhead_um2()
+        assert 0 < overhead < 0.1 * mbus_total_area_um2()
+
+    def test_non_power_gated_designs_need_only_bus_controller(self):
+        assert mbus_required_only_area_um2() == 27_376.0
+        assert mbus_required_only_area_um2() < mbus_component_sum_um2()
+
+    def test_mbus_larger_than_i2c_smaller_story(self):
+        """MBus incurs a modest area increase over the I2C master but
+        is comparable to the SPI master."""
+        assert mbus_total_area_um2() > OTHER_BUSES["i2c_master"].area_um2
+        assert mbus_total_area_um2() == pytest.approx(
+            OTHER_BUSES["spi_master"].area_um2, rel=0.05
+        )
+
+    def test_wire_controller_is_tiny(self):
+        """7 gates, 0 flops: the always-on cost of forwarding."""
+        wc = MBUS_MODULES["wire_controller"]
+        assert wc.gates == 7 and wc.flip_flops == 0
+        assert wc.area_um2 < 1_000
+
+
+class TestAreaFit:
+    def test_fit_produces_positive_coefficients(self):
+        lib = fit_area_library()
+        assert lib.um2_per_gate > 0
+        assert lib.um2_per_flip_flop >= 0
+
+    def test_fit_explains_most_designs_within_half(self):
+        lib = fit_area_library()
+        for module in list(MBUS_MODULES.values()) + list(OTHER_BUSES.values()):
+            if module.gates < 50:
+                continue   # tiny modules are dominated by routing
+            assert abs(module.area_error_fraction(lib)) < 0.5
+
+    def test_table2_rows_shape(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        assert all(len(row) == 6 for row in rows)
+
+
+class TestBitbangPrograms:
+    def test_mbus_worst_path_20_instructions(self):
+        """Section 6.6: 'our worst case path is 20 instructions'."""
+        assert mbus_edge_isr().worst_case_instructions() == 20
+
+    def test_mbus_worst_path_65_cycles(self):
+        """'(65 cycles including interrupt entry and exit)'."""
+        assert mbus_edge_isr().worst_case_cycles() == 65
+
+    def test_i2c_comparable_21_instructions(self):
+        """Wikipedia's I2C bitbang: longest path of 21 instructions."""
+        assert i2c_bitbang_isr().worst_case_instructions() == 21
+
+    def test_supported_clock_120khz(self):
+        """8 MHz MSP430 -> up to a 120 kHz MBus clock."""
+        analysis = analyze_mbus_bitbang()
+        assert analysis.supported_bus_clock_hz == 120_000
+        assert analysis.max_bus_clock_hz == pytest.approx(8e6 / 65)
+
+    def test_response_time(self):
+        analysis = analyze_mbus_bitbang()
+        assert analysis.response_time_us == pytest.approx(65 / 8.0, rel=1e-6)
+
+    def test_max_bus_clock_helper(self):
+        assert max_bus_clock_hz() == pytest.approx(8e6 / 65)
+
+    def test_i2c_analysis_runs(self):
+        analysis = analyze_i2c_bitbang()
+        assert analysis.worst_path_instructions == 21
+        assert analysis.worst_path_cycles > 0
+
+    def test_flatten_worst_path_matches_counts(self):
+        isr = mbus_edge_isr()
+        path = isr.flatten_worst_path()
+        assert sum(i.cycles for i in path) == isr.worst_case_cycles()
+        assert sum(1 for i in path if not i.hardware) == 20
+
+
+class TestMcuModel:
+    def test_branch_takes_worst_alternative(self):
+        costs = Msp430Costs()
+        short = Program("short").add("NOP", 1)
+        long = Program("long").add("A", 3).add("B", 3)
+        program = Program("p").fork(short, long)
+        assert program.worst_case_cycles() == 6
+        assert program.worst_case_instructions() == 2
+
+    def test_isr_wrap_adds_entry_and_reti(self):
+        costs = Msp430Costs()
+        body = Program("body").add("NOP", 1)
+        isr = isr_wrap(costs, body)
+        assert isr.worst_case_cycles() == costs.interrupt_entry + 1 + costs.reti
+        # Entry is hardware: 2 countable instructions (NOP + RETI).
+        assert isr.worst_case_instructions() == 2
+
+    def test_zero_cycle_instruction_rejected(self):
+        with pytest.raises(ValueError):
+            Program("p").add("BAD", 0)

@@ -1,0 +1,166 @@
+"""Unit tests for ring timing, overhead curves, and throughput
+(Figures 9, 10, 14, 15)."""
+
+import pytest
+
+from repro.timing.overhead import (
+    OVERHEAD_CURVES,
+    crossover_payload_bytes,
+    efficiency,
+    overhead_bits,
+    overhead_series,
+)
+from repro.timing.ring_timing import (
+    max_clock_hz,
+    max_clock_mhz_series,
+    max_nodes_at_clock,
+    ring_delay_ns,
+)
+from repro.timing.throughput import (
+    parallel_goodput_bps,
+    parallel_goodput_series,
+    speedup_vs_serial,
+    transaction_cycles,
+    transaction_rate_hz,
+    transaction_rate_series,
+)
+
+
+class TestFigure9:
+    def test_14_nodes_runs_at_7_1_mhz(self):
+        """The paper's headline: a 14-node MBus can run at 7.1 MHz."""
+        assert max_clock_hz(14) / 1e6 == pytest.approx(7.14, abs=0.05)
+
+    def test_two_nodes_at_50_mhz(self):
+        assert max_clock_hz(2) == pytest.approx(50e6)
+
+    def test_frequency_inversely_proportional_to_nodes(self):
+        assert max_clock_hz(4) == pytest.approx(max_clock_hz(8) * 2)
+
+    def test_series_covers_2_to_14(self):
+        series = max_clock_mhz_series()
+        assert [n for n, _ in series] == list(range(2, 15))
+        mhz = [f for _, f in series]
+        assert mhz == sorted(mhz, reverse=True)
+
+    def test_max_nodes_at_clock(self):
+        assert max_nodes_at_clock(7.1e6) == 14
+        assert max_nodes_at_clock(50e6) == 2
+
+    def test_ring_delay(self):
+        assert ring_delay_ns(14) == 140
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_clock_hz(1)
+        with pytest.raises(ValueError):
+            max_clock_hz(2, node_delay_ns=0)
+
+
+class TestFigure10:
+    def test_all_legend_entries_present(self):
+        assert set(OVERHEAD_CURVES) == {
+            "UART (1-bit stop)",
+            "UART (2-bit stop)",
+            "I2C",
+            "SPI",
+            "MBus (short)",
+            "MBus (full)",
+        }
+
+    def test_mbus_overhead_length_independent(self):
+        assert overhead_bits("MBus (short)", 0) == 19
+        assert overhead_bits("MBus (short)", 40_000) == 19
+        assert overhead_bits("MBus (full)", 5) == 43
+
+    def test_crossover_vs_2_stop_uart_after_7_bytes(self):
+        """'more efficient than 2-mark UART after 7 bytes'."""
+        assert crossover_payload_bytes("MBus (short)", "UART (2-bit stop)") == 7
+
+    def test_crossover_vs_i2c_after_9_bytes(self):
+        """'more efficient than I2C and 1-mark UART after 9 bytes'."""
+        assert crossover_payload_bytes("MBus (short)", "I2C") == 10
+        assert crossover_payload_bytes("MBus (short)", "UART (1-bit stop)") == 10
+
+    def test_spi_never_crossed(self):
+        assert crossover_payload_bytes("MBus (short)", "SPI") is None
+
+    def test_series_shape(self):
+        series = overhead_series(lengths=range(0, 11))
+        assert len(series["I2C"]) == 11
+        assert series["I2C"][0] == (0, 10)
+
+    def test_efficiency_increases_with_length_for_mbus(self):
+        values = [efficiency("MBus (short)", n) for n in (1, 8, 64, 512)]
+        assert values == sorted(values)
+
+    def test_unknown_bus_raises(self):
+        with pytest.raises(KeyError):
+            overhead_bits("CAN", 1)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_bits("I2C", -1)
+
+
+class TestFigure14:
+    def test_rate_formula(self):
+        assert transaction_rate_hz(400_000, 8) == pytest.approx(400_000 / 83)
+
+    def test_zero_byte_rate(self):
+        assert transaction_rate_hz(100_000, 0) == pytest.approx(100_000 / 19)
+
+    def test_rate_scales_with_clock(self):
+        assert transaction_rate_hz(7_100_000, 16) == pytest.approx(
+            71 * transaction_rate_hz(100_000, 16)
+        )
+
+    def test_rate_decreases_with_length(self):
+        rates = [transaction_rate_hz(400_000, n) for n in (0, 8, 16, 40)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_series_has_four_clocks(self):
+        series = transaction_rate_series()
+        assert set(series) == {100_000, 400_000, 1_000_000, 7_100_000}
+
+
+class TestFigure15:
+    def test_serial_cycles(self):
+        assert transaction_cycles(16) == 19 + 128
+
+    def test_striping_shrinks_data_phase_only(self):
+        assert transaction_cycles(16, data_wires=4) == 19 + 32
+        assert transaction_cycles(16, data_wires=3) == 19 + 43  # ceil
+
+    def test_each_wire_roughly_doubles_long_message_goodput(self):
+        """'each additional DATA line doubles the MBus payload
+        throughput' — asymptotically."""
+        assert speedup_vs_serial(128, 2) == pytest.approx(2.0, rel=0.02)
+        assert speedup_vs_serial(128, 4) == pytest.approx(4.0, rel=0.07)
+
+    def test_short_messages_overhead_dominated(self):
+        """Figure 15: protocol overhead dominates short messages, so
+        extra wires barely help."""
+        assert speedup_vs_serial(2, 4) < 1.7
+
+    def test_zero_bytes_zero_goodput(self):
+        assert parallel_goodput_bps(0, 4) == 0.0
+
+    def test_400khz_128byte_4wire_magnitude(self):
+        """Top-right of Figure 15: ~1.5 Mbit/s at 400 kHz, 4 wires."""
+        goodput = parallel_goodput_bps(128, 4, clock_hz=400_000)
+        assert goodput == pytest.approx(1.49e6, rel=0.02)
+
+    def test_series_kbps(self):
+        series = parallel_goodput_series(lengths=(128,), wire_counts=(1,))
+        (length, kbps), = series[1]
+        assert length == 128
+        assert kbps == pytest.approx(393, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transaction_cycles(-1)
+        with pytest.raises(ValueError):
+            transaction_cycles(1, data_wires=0)
+        with pytest.raises(ValueError):
+            transaction_rate_hz(0, 1)

@@ -1,0 +1,103 @@
+"""Unit tests for the analytic transaction model (Sections 6.1, 6.2)."""
+
+import pytest
+
+from repro.core.constants import ProtocolOverheads
+from repro.core.transaction import TransactionModel, fragmentation_overhead_bits
+
+
+class TestCycleCounts:
+    def test_paper_overheads(self):
+        """Arbitration 3 + addressing 8/32 + interjection 5 + control 3."""
+        model = TransactionModel()
+        assert model.overhead_cycles(full_address=False) == 19
+        assert model.overhead_cycles(full_address=True) == 43
+
+    def test_overhead_is_length_independent(self):
+        model = TransactionModel()
+        assert all(
+            model.total_cycles(n) - 8 * n == 19 for n in (0, 1, 100, 100_000)
+        )
+
+    def test_data_cycles(self):
+        model = TransactionModel()
+        assert model.data_cycles(0) == 0
+        assert model.data_cycles(12) == 96
+        with pytest.raises(ValueError):
+            model.data_cycles(-1)
+
+    def test_protocol_overheads_dataclass(self):
+        overheads = ProtocolOverheads()
+        assert overheads.total() == 19
+        assert overheads.total(full_address=True) == 43
+
+
+class TestEnergy:
+    def test_paper_formula(self):
+        """E = 3.5 pJ x (19 + 8n) x chips (Section 6.2)."""
+        model = TransactionModel()
+        assert model.message_energy_pj(8, 3) == pytest.approx(
+            3.5 * (19 + 64) * 3
+        )
+
+    def test_full_address_energy(self):
+        model = TransactionModel()
+        assert model.message_energy_pj(0, 2, full_address=True) == pytest.approx(
+            3.5 * 43 * 2
+        )
+
+    def test_requires_two_chips(self):
+        with pytest.raises(ValueError):
+            TransactionModel().message_energy_pj(1, 1)
+
+
+class TestTimingAndRates:
+    def test_duration(self):
+        model = TransactionModel(clock_hz=400_000)
+        assert model.message_duration_s(8) == pytest.approx(83 / 400_000)
+
+    def test_transaction_rate(self):
+        model = TransactionModel(clock_hz=400_000)
+        assert model.transactions_per_second(0) == pytest.approx(400_000 / 19)
+
+    def test_bus_utilization_matches_paper(self):
+        """Section 6.3.1: request (4 B) + response (8 B) every 15 s at
+        400 kHz occupies 0.0022 % of the bus."""
+        model = TransactionModel(clock_hz=400_000)
+        util = model.bus_utilization([4, 8], period_s=15.0)
+        assert util == pytest.approx(0.000022, rel=0.02)
+
+    def test_utilization_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            TransactionModel().bus_utilization([1], period_s=0)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            TransactionModel(clock_hz=0)
+
+
+class TestCostBundle:
+    def test_cost_fields_consistent(self):
+        cost = TransactionModel().cost(10, n_chips=4)
+        assert cost.total_cycles == 19 + 80
+        assert cost.goodput_bits == 80
+        assert cost.energy_per_goodput_bit_pj == pytest.approx(
+            cost.energy_pj / 80
+        )
+
+    def test_zero_byte_goodput_energy_infinite(self):
+        cost = TransactionModel().cost(0)
+        assert cost.energy_per_goodput_bit_pj == float("inf")
+
+
+class TestFragmentation:
+    def test_imager_row_fragmentation(self):
+        """Section 6.3.2: 160 rows cost 160 x 19 = 3,040 bits."""
+        assert fragmentation_overhead_bits(28_800, 180) == 3_040
+
+    def test_single_message(self):
+        assert fragmentation_overhead_bits(28_800, 28_800) == 19
+
+    def test_invalid_fragment(self):
+        with pytest.raises(ValueError):
+            fragmentation_overhead_bits(100, 0)

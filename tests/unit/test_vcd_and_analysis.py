@@ -1,0 +1,117 @@
+"""Unit tests for VCD export and the analysis rendering helpers."""
+
+import os
+
+import pytest
+
+from repro.analysis import Series, ascii_chart, format_table, render_check
+from repro.sim.scheduler import NS, Simulator
+from repro.sim.signals import Net
+from repro.sim.tracer import Tracer
+
+
+class TestVcdExport:
+    def _trace_some_activity(self):
+        sim = Simulator()
+        clk = Net(sim, "clk")
+        data = Net(sim, "data")
+        tracer = Tracer()
+        tracer.watch_all([clk, data])
+        for i in range(4):
+            clk.set(i % 2, delay=10 * NS)
+            sim.run()
+        data.set(0, delay=5 * NS)
+        sim.run()
+        return tracer
+
+    def test_vcd_structure(self, tmp_path):
+        tracer = self._trace_some_activity()
+        path = tmp_path / "wave.vcd"
+        tracer.write_vcd(str(path))
+        text = path.read_text()
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 1" in text
+        assert "$dumpvars" in text
+        assert "#0" in text
+        # One timestamped change per recorded transition.
+        stamps = [l for l in text.splitlines() if l.startswith("#")]
+        assert len(stamps) >= len(tracer.transitions)
+
+    def test_vcd_distinct_codes(self, tmp_path):
+        tracer = self._trace_some_activity()
+        path = tmp_path / "wave.vcd"
+        tracer.write_vcd(str(path))
+        var_lines = [
+            l for l in path.read_text().splitlines() if l.startswith("$var")
+        ]
+        codes = [l.split()[3] for l in var_lines]
+        assert len(set(codes)) == len(codes) == 2
+
+    def test_code_generator_unique_for_many_nets(self):
+        codes = {Tracer._vcd_code(i) for i in range(500)}
+        assert len(codes) == 500
+
+    def test_system_trace_to_vcd(self, tmp_path):
+        """End to end: a traced MBus system exports its rings."""
+        from repro.core import Address, MBusSystem
+
+        system = MBusSystem(trace=True)
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        system.send("m", Address.short(0x2, 5), b"\x42")
+        path = tmp_path / "mbus.vcd"
+        system.tracer.write_vcd(str(path))
+        text = path.read_text()
+        assert "m.dout.clk" in text
+        assert "a.dout.data" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(
+            ["name", "value"], [("a", 1), ("bbb", 22.5)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [(0.000123,), (1234567.0,), (3.14159,)])
+        assert "0.000123" in table
+        assert "3.14" in table
+
+    def test_render_check_marks(self):
+        ok = render_check("x", 1, 1, True)
+        bad = render_check("x", 1, 2, False)
+        assert ok.startswith("[OK ]")
+        assert bad.startswith("[DIFF]")
+
+
+class TestAsciiChart:
+    def test_renders_series_and_legend(self):
+        chart = ascii_chart(
+            [Series.of("a", [(0, 0), (1, 1)]), Series.of("b", [(0, 1), (1, 0)])],
+            width=20,
+            height=5,
+        )
+        assert "o a" in chart and "* b" in chart
+        assert "+" in chart
+
+    def test_log_scale(self):
+        chart = ascii_chart(
+            [Series.of("a", [(0, 1), (1, 1000)])], log_y=True, width=10, height=4
+        )
+        assert "1e" in chart
+
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_infinite_points_skipped(self):
+        chart = ascii_chart(
+            [Series.of("a", [(0, float("inf")), (1, 2.0), (2, 3.0)])],
+            width=10,
+            height=4,
+        )
+        assert "a" in chart
