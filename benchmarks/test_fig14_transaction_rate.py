@@ -48,24 +48,22 @@ def test_fig14_transaction_rate(benchmark, report):
     assert one_at_2hz == pytest.approx(two_at_1hz)
 
 
-def test_fig14_burst_saturation_on_edge_sim(benchmark, report):
+def test_fig14_burst_saturation_on_edge_sim(benchmark, report, burst_runner):
     """Cross-check on the edge-accurate simulator: back-to-back
-    transactions approach (but cannot exceed) the model rate."""
-    from repro.core import Address, MBusSystem
-    from repro.core.constants import MBusTiming
+    transactions approach (but cannot exceed) the model rate.
+
+    Uses the burst workload shared with the engine perf benchmark and
+    the fast-path smoke guard (conftest.run_burst), so all three
+    always measure the same traffic.
+    """
 
     def run():
-        system = MBusSystem(timing=MBusTiming(clock_hz=400_000))
-        system.add_mediator_node("m", short_prefix=0x1)
-        system.add_node("a", short_prefix=0x2)
-        for i in range(6):
-            system.post("m", Address.short(0x2, 5), bytes([i] * 8))
-        system.run_until_idle()
-        elapsed_s = system.sim.now * 1e-12
-        return len(system.transactions) / elapsed_s
+        _, _, txns, sim_s = burst_runner["run"]("edge")
+        return txns / sim_s
 
     achieved = benchmark(run)
-    model = transaction_rate_hz(400_000, 8)
+    clock_hz = burst_runner["clock_hz"]
+    model = transaction_rate_hz(clock_hz, burst_runner["payload_bytes"])
     report(
         f"burst rate on edge sim: {achieved:.0f} trans/s vs model "
         f"{model:.0f} trans/s (19 + 8n cycles)"
@@ -74,5 +72,5 @@ def test_fig14_burst_saturation_on_edge_sim(benchmark, report):
     # small ring the real DATA-toggle sequence completes faster than
     # that, so the edge simulator may slightly exceed the closed form
     # but must stay within the no-interjection ceiling (14 + 8n).
-    ceiling = 400_000 / (14 + 64)
+    ceiling = clock_hz / (14 + 8 * burst_runner["payload_bytes"])
     assert 0.5 * model < achieved <= ceiling

@@ -137,6 +137,27 @@ class Address:
         n = self.n_bits
         return tuple((word >> (n - 1 - i)) & 1 for i in range(n))
 
+    def matches(
+        self,
+        short_prefix,
+        full_prefix,
+        broadcast_channels,
+    ) -> bool:
+        """Would a node with these identifiers accept this address?
+
+        The single matching predicate shared by the edge-accurate
+        engine (MemberEngine) and the transaction-level planner, so
+        the two backends can never resolve different receiver sets.
+        """
+        if self.is_broadcast:
+            return self.fu_id in broadcast_channels
+        if self.is_short:
+            return (
+                short_prefix is not None
+                and self.short_prefix == short_prefix
+            )
+        return full_prefix is not None and self.full_prefix == full_prefix
+
     @staticmethod
     def decode(word: int, n_bits: int) -> "Address":
         """Decode a received address word of 8 or 32 bits."""

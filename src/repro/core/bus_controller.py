@@ -267,20 +267,23 @@ class MemberEngine:
     # Edge handlers (invoked by the node shell on CLK-in transitions).
     # ------------------------------------------------------------------
     def on_clk_edge(self, edge: EdgeType) -> None:
+        # Hot path: one call per node per clock edge.  EdgeType is an
+        # IntEnum (FALLING == 0), so dispatch on the int value instead
+        # of Enum identity.
         if self.phase is Phase.IDLE:
             # A clock edge while idle means a transaction started that
             # we have not yet noticed via DATA (we sit between the
             # mediator and the requester).
             self.observe_transaction_start()
         if self.phase is Phase.CONTROL:
-            if edge is EdgeType.FALLING:
+            if edge == 0:
                 self._ctl_falling += 1
                 self._control_falling(self._ctl_falling)
             else:
                 self._ctl_rising += 1
                 self._control_rising(self._ctl_rising)
             return
-        if edge is EdgeType.FALLING:
+        if edge == 0:
             self.falling += 1
             self._on_falling(self.falling)
         else:
@@ -494,19 +497,11 @@ class MemberEngine:
             self._resolve_match(address)
 
     def _resolve_match(self, address: Address) -> bool:
-        matched = False
-        if address.is_broadcast:
-            matched = address.fu_id in self.config.broadcast_channels
-        elif address.is_short:
-            matched = (
-                self.config.short_prefix is not None
-                and address.short_prefix == self.config.short_prefix
-            )
-        else:
-            matched = (
-                self.config.full_prefix is not None
-                and address.full_prefix == self.config.full_prefix
-            )
+        matched = address.matches(
+            self.config.short_prefix,
+            self.config.full_prefix,
+            self.config.broadcast_channels,
+        )
         if matched:
             self.role = Role.RX
             self._matched = address

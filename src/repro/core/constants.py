@@ -55,6 +55,19 @@ WAKEUP_STEPS = ("power_gate", "clock", "isolation", "reset")
 MIN_PROGRESS_BYTES = 4             # arbitration winner may send >= 4 bytes
 MIN_MAX_MESSAGE_BYTES = 1024       # runaway watchdog: minimum maximum length
 
+
+def clamp_max_message_bytes(n_bytes: int) -> int:
+    """Runaway-watchdog limit floor (Section 7), shared by both
+    backends so the cutoff can never diverge between modes."""
+    return max(n_bytes, MIN_MAX_MESSAGE_BYTES)
+
+
+#: Settle delay between a node observing a transaction boundary and it
+#: acting (re-requesting, pulsing, auto-sleeping), in node delays.
+#: Shared by MBusNode._settle_ps and the transaction-level planner so
+#: the two backends agree on inter-transaction spacing.
+NODE_SETTLE_FACTOR = 4
+
 # --------------------------------------------------------------------------
 # Physical timing (Section 6.1: max node-to-node delay 10 ns; Section
 # 6.3.2: implemented clock tunable 10 kHz .. 6.67 MHz, default 400 kHz).
@@ -119,5 +132,10 @@ class MBusTiming:
         return self.period_ps // 2
 
     def ring_delay_ps(self, n_nodes: int) -> int:
-        """Worst-case propagation once around a ring of ``n_nodes``."""
+        """Worst-case propagation once around a ring of ``n_nodes``.
+
+        Deliberately a bare multiply: a per-count memo dict was
+        benchmarked here and lost (dict lookup + branch costs ~2x the
+        integer multiplication it would avoid).
+        """
         return n_nodes * self.node_delay_ps

@@ -134,10 +134,8 @@ class MediatorLogic:
     # Idle watching & self-start (4.2, 4.3).
     # ------------------------------------------------------------------
     def _on_data_edge(self, net: Net, edge: EdgeType) -> None:
-        if (
-            self.phase is MediatorPhase.IDLE
-            and edge is EdgeType.FALLING
-        ):
+        # Hot path: EdgeType is an IntEnum; FALLING == 0.
+        if edge == 0 and self.phase is MediatorPhase.IDLE:
             self._schedule_self_start()
 
     def _schedule_self_start(self) -> None:
@@ -189,9 +187,18 @@ class MediatorLogic:
     # Clock generation (toggling every half period).
     # ------------------------------------------------------------------
     def _schedule_clock_toggle(self, value: int) -> None:
+        # Bound methods, not lambdas: this runs twice per bus cycle for
+        # the lifetime of the system, so avoid a closure per half period.
         self._clock_event = self.sim.schedule(
-            self.timing.half_period_ps, lambda: self._clock_toggle(value)
+            self.timing.half_period_ps,
+            self._clock_toggle_high if value else self._clock_toggle_low,
         )
+
+    def _clock_toggle_low(self) -> None:
+        self._clock_toggle(0)
+
+    def _clock_toggle_high(self) -> None:
+        self._clock_toggle(1)
 
     def _clock_toggle(self, value: int) -> None:
         if self.phase is not MediatorPhase.ACTIVE:
@@ -258,7 +265,7 @@ class MediatorLogic:
 
     def set_max_message_bytes(self, n_bytes: int) -> None:
         """Runaway watchdog limit (Section 7), min-max 1 kB."""
-        self.max_message_bytes = max(n_bytes, constants.MIN_MAX_MESSAGE_BYTES)
+        self.max_message_bytes = constants.clamp_max_message_bytes(n_bytes)
 
     # ------------------------------------------------------------------
     # Interjection sequence (4.9, Figures 6 and 7).
@@ -319,8 +326,15 @@ class MediatorLogic:
 
     def _schedule_control_toggle(self, value: int) -> None:
         self.sim.schedule(
-            self.timing.half_period_ps, lambda: self._control_toggle(value)
+            self.timing.half_period_ps,
+            self._control_toggle_high if value else self._control_toggle_low,
         )
+
+    def _control_toggle_low(self) -> None:
+        self._control_toggle(0)
+
+    def _control_toggle_high(self) -> None:
+        self._control_toggle(1)
 
     def _control_toggle(self, value: int) -> None:
         if self.phase is not MediatorPhase.CONTROL:

@@ -100,6 +100,11 @@ class MBusNode:
         self.on_result: Optional[Callable[["MBusNode", TxOutcome], None]] = None
         self.on_receive: Optional[Callable[["MBusNode", ReceivedMessage], None]] = None
 
+        #: Set by MBusSystem when the system runs on the transaction-
+        #: level fast path; node-level APIs then delegate to it instead
+        #: of the edge-accurate engine (which is never attached).
+        self.fast_backend = None
+
         # Wired in attach().
         self.din: Optional[Net] = None
         self.dout: Optional[Net] = None
@@ -187,11 +192,17 @@ class MBusNode:
         transaction first (Section 4.5) — the bus wakes the node, and
         the queued message goes out on the following transaction.
         """
+        if self.fast_backend is not None:
+            self.fast_backend.post_message(self, message)
+            return
         self.engine.queue_message(message)
         self._kick()
 
     def trigger_interrupt(self) -> None:
         """Assert the always-on interrupt port (Section 4.5)."""
+        if self.fast_backend is not None:
+            self.fast_backend.trigger_interrupt(self)
+            return
         self.pending_interrupt = True
         if not self.engine.busy:
             self._start_null_pulse()
@@ -204,18 +215,28 @@ class MBusNode:
         minimum-progress policy (Section 7) and takes effect at the
         next latch edge once the winner has moved four bytes.
         """
+        if self.fast_backend is not None:
+            raise ProtocolError(
+                "third-party interjection is an intra-transaction event; "
+                "it requires the edge-accurate backend (mode='edge')"
+            )
         self.engine.request_interjection(reason)
 
     def sleep(self) -> None:
         """Power-gate the layer and bus domains (application decision)."""
         if not self.config.power_gated:
             raise ProtocolError(f"{self.name} is not a power-gated design")
-        if self.engine.busy:
+        if self._busy_for_sleep():
             raise ProtocolError("cannot sleep mid-transaction")
         if self.layer_domain.is_on:
             self.layer_domain.power_off("application-sleep")
         if self.bus_domain.is_on:
             self.bus_domain.power_off("application-sleep")
+
+    def _busy_for_sleep(self) -> bool:
+        if self.fast_backend is not None:
+            return self.fast_backend.node_busy(self)
+        return self.engine.busy
 
     @property
     def is_fully_awake(self) -> bool:
@@ -225,7 +246,8 @@ class MBusNode:
     # Wire events.
     # ------------------------------------------------------------------
     def _on_din_edge(self, _net: Net, edge: EdgeType) -> None:
-        if edge is EdgeType.FALLING and self.engine.phase is Phase.IDLE:
+        # Hot path: EdgeType is an IntEnum; FALLING == 0.
+        if edge == 0 and self.engine.phase is Phase.IDLE:
             if not (self.config.is_mediator or self._null_pulse_active):
                 self.engine.on_data_falling_idle()
                 if not self.bus_domain.is_on:
@@ -238,7 +260,7 @@ class MBusNode:
             # controller never gates the bus controller.
             self.engine.on_clk_edge(edge)
             return
-        if self._null_pulse_active and edge is EdgeType.FALLING:
+        if edge == 0 and self._null_pulse_active:
             # Null transaction: resume forwarding before the
             # arbitration edge (Figure 6).
             self.data_ctl.forward()
@@ -309,7 +331,7 @@ class MBusNode:
     # Internal helpers.
     # ------------------------------------------------------------------
     def _settle_ps(self) -> int:
-        return 4 * self.timing.node_delay_ps
+        return constants.NODE_SETTLE_FACTOR * self.timing.node_delay_ps
 
     def _schedule(self, fn: Callable[[], None]) -> None:
         self.sim.schedule(self._settle_ps(), fn)
@@ -342,6 +364,12 @@ class MBusNode:
         self.data_ctl.drive(0)
         if not self.bus_domain.is_on:
             self._bus_seq.arm("interrupt")
+        elif self.pending_interrupt and not self.layer_domain.is_on:
+            # The bus domain is already powered (e.g. it woke as an
+            # observer of an earlier transaction), so _on_bus_awake will
+            # never fire for this wakeup — arm the layer sequencer
+            # directly or the null transactions repeat forever.
+            self._layer_seq.arm("interrupt")
 
     def _auto_sleep(self) -> None:
         if self.engine.busy or self.engine.has_pending or self.pending_interrupt:

@@ -1,0 +1,619 @@
+"""Transaction-level model (TLM) of MBus: closed-form transaction planning.
+
+This module is the analytic core of the fast-path backend
+(:mod:`repro.sim.fastpath`).  Instead of firing a Python event for
+every CLK/DATA edge of every ring segment (the edge-accurate engine's
+O(bits x nodes) behaviour), it computes each bus round *in closed
+form* from the protocol rules of Sections 4.3-4.9:
+
+* arbitration and priority-arbitration winners from ring topology
+  (a "nearest upstream driver" walk over the broken DATA ring);
+* the rising-edge count ``R`` at which the transaction ends — end of
+  message, receiver-buffer abort, or the mediator's runaway watchdog;
+* the interjection sequence duration from the saturating-counter
+  detector model (how many DATA toggles must circulate before the
+  mediator's own detector fires);
+* the two control bits each node latches, again by ring walk, so that
+  per-node control codes (and therefore deliveries and ACK/NAK
+  outcomes) match the edge engine exactly;
+* per-node clock-edge arrival times, from which hierarchical wakeup
+  times (bus domain at the 4th edge, layer domain 4 edges after its
+  arming event) fall out.
+
+Everything here is pure computation over integers — no simulator, no
+events.  The formulas were validated edge-for-edge against the
+edge-accurate engine (see ``tests/integration/
+test_fastpath_equivalence.py``); result fields (winner, control code,
+cycle counts, delivered payloads, wake counts) are exact, and the
+picosecond timings agree to within propagation-delay slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import constants
+from repro.core.addresses import Address
+from repro.core.constants import NODE_SETTLE_FACTOR
+from repro.core.messages import ControlCode, Message
+
+__all__ = [
+    "NODE_SETTLE_FACTOR",
+    "NodeRoundState",
+    "RingTopology",
+    "RoundContext",
+    "RxDelivery",
+    "TLMNode",
+    "TransactionPlan",
+    "plan_round",
+    "resolve_arbitration",
+]
+
+
+@dataclass(frozen=True)
+class TLMNode:
+    """Static per-node facts the planner needs (a NodeConfig digest)."""
+
+    name: str
+    position: int
+    short_prefix: Optional[int]
+    full_prefix: Optional[int]
+    broadcast_channels: frozenset
+    rx_buffer_bytes: int
+    ack_policy: Optional[Callable[[bytes], bool]]
+    is_mediator: bool
+    power_gated: bool
+    auto_sleep: bool
+    forward_delay_ps: int
+
+
+@dataclass
+class NodeRoundState:
+    """Mutable per-node inputs to one round of planning."""
+
+    bus_on: bool
+    layer_on: bool
+    pending_interrupt: bool
+    #: True when this node raised the null pulse that triggered a
+    #: wakeup round (its layer sequencer arms at the pulse).
+    is_pulser: bool = False
+
+
+@dataclass
+class RxDelivery:
+    """One receiver's view of the transaction."""
+
+    position: int
+    name: str
+    control: ControlCode
+    payload: bytes
+    delivered: bool
+    arrived_at_ps: int
+
+
+@dataclass
+class TransactionPlan:
+    """Everything the fast backend needs to realise one bus round."""
+
+    kind: str                       # "message" or "wakeup"
+    t0: int                         # mediator self-start time
+    end_ps: int                     # final control rising edge
+    clock_cycles: int               # mediator risings before control
+    control_cycles: int
+    control: ControlCode            # as latched by the mediator
+    general_error: bool
+    error_reason: str
+    winner: Optional[int]           # ring position of the transmitter
+    message: Optional[Message]
+    tx_control: Optional[ControlCode]
+    tx_success: bool
+    tx_bytes_sent: int
+    rx: List[RxDelivery] = field(default_factory=list)
+    #: position -> time the bus domain powers on (gated nodes only).
+    bus_wake_at: Dict[int, int] = field(default_factory=dict)
+    #: position -> (time, reason) the layer domain powers on.
+    layer_wake_at: Dict[int, Tuple[int, str]] = field(default_factory=dict)
+    #: position -> time the node observes the transaction end (its
+    #: final control rising arrival); interrupt servicing, auto-sleep
+    #: scheduling and re-requests all key off this.
+    node_end_at: Dict[int, int] = field(default_factory=dict)
+    #: position -> estimated output transitions (CLK + DATA) for the
+    #: activity model; see plan docstring for accuracy notes.
+    wire_activity: Dict[int, int] = field(default_factory=dict)
+
+
+class RingTopology:
+    """Propagation arithmetic for one ring of nodes.
+
+    Position 0 is the mediator.  Signals travel 0 -> 1 -> ... -> n-1
+    -> 0; the mediator's drive reaches node ``q``'s input pads after
+    the pad-driver delay plus ``q - 1`` forwarding hops.
+    """
+
+    def __init__(self, nodes: Sequence[TLMNode], timing: constants.MBusTiming):
+        self.nodes = list(nodes)
+        self.n = len(nodes)
+        self.timing = timing
+        self.drive_delay = timing.drive_delay_ps
+        # Prefix sums of forwarding delays so heterogeneous node
+        # delays (NodeConfig.node_delay_ps overrides) are honoured.
+        self._prefix = [0] * (self.n + 1)
+        for i, node in enumerate(self.nodes):
+            self._prefix[i + 1] = self._prefix[i] + node.forward_delay_ps
+
+    def clk_prop(self, q: int) -> int:
+        """Mediator CLK drive -> node q's CLK-in arrival delay."""
+        if q == 0:
+            return self.full_prop
+        return self.drive_delay + self._prefix[q] - self._prefix[1]
+
+    @property
+    def full_prop(self) -> int:
+        """Once around: mediator drive -> mediator's own input pad."""
+        return self.drive_delay + self._prefix[self.n] - self._prefix[1]
+
+    def member_to_mediator(self, p: int) -> int:
+        """Node p drives its output -> mediator's input pad arrival."""
+        return self.drive_delay + self._prefix[self.n] - self._prefix[p + 1]
+
+    def hop_delay(self, src: int, dst: int) -> int:
+        """Node ``src`` drives its output -> node ``dst``'s input pad.
+
+        The signal crosses the forwarding muxes of every node strictly
+        between the two, walking downstream (possibly wrapping); O(1)
+        via the same prefix sums the other queries use.
+        """
+        if dst > src:
+            between = self._prefix[dst] - self._prefix[src + 1]
+        else:
+            between = (
+                self._prefix[self.n] - self._prefix[src + 1]
+            ) + self._prefix[dst]
+        return self.drive_delay + between
+
+
+def matches(node: TLMNode, address: Address) -> bool:
+    """Receiver predicate — delegates to the shared Address.matches so
+    both backends always resolve the same receiver set."""
+    return address.matches(
+        node.short_prefix, node.full_prefix, node.broadcast_channels
+    )
+
+
+def nearest_upstream(
+    n: int, drivers: Dict[int, int], q: int, parked: int = 1
+) -> int:
+    """Value node ``q`` samples on its DATA-in pad.
+
+    Walk upstream from ``q - 1``; the first driving node's value wins.
+    A node driving its own output is reached last (a full wrap).  With
+    no drivers anywhere the line holds its parked value.
+    """
+    for i in range(1, n + 1):
+        pos = (q - i) % n
+        if pos in drivers:
+            return drivers[pos]
+    return parked
+
+
+def resolve_arbitration(
+    n: int,
+    requests: Dict[int, Message],
+    anchor_pos: Optional[int],
+) -> Optional[int]:
+    """Winner of arbitration + priority arbitration (Section 4.3).
+
+    ``requests`` maps ring position to the head-of-queue message of
+    every node that pulled DATA low before the arbitration latch.
+    Returns the transmitting position, or None for a null round.
+    """
+    if not requests:
+        return None
+    break_pos = anchor_pos if anchor_pos is not None else 0
+    # Fiat winners: the mediator's own member (it drives the broken
+    # ring low, so every downstream requester loses) or the anchor.
+    if break_pos in requests:
+        winner = break_pos
+    else:
+        winner = None
+        for i in range(1, n + 1):
+            pos = (break_pos + i) % n
+            if pos in requests:
+                winner = pos
+                break
+        assert winner is not None
+    # Priority slot (Figure 5): losers holding priority messages pull
+    # DATA high; the first of them downstream of the winner takes the
+    # bus (the winner always sees a '1' upstream and backs off).
+    prio = [
+        pos for pos, message in requests.items()
+        if pos != winner and message.priority
+    ]
+    if prio:
+        for i in range(1, n + 1):
+            pos = (winner + i) % n
+            if pos in prio:
+                return pos
+    return winner
+
+
+def _stream_bits(message: Message) -> Tuple[int, ...]:
+    return message.address_bits() + message.data_bits()
+
+
+def _stream_transitions(bits: Tuple[int, ...]) -> int:
+    """DATA transitions while driving: idle-high -> arbitration-low ->
+    address/data bits."""
+    count = 0
+    prev = 1
+    for value in (0,) + bits:
+        if value != prev:
+            count += 1
+        prev = value
+    return count
+
+
+def interjection_fire_delay(
+    broken_at_mediator: bool,
+    last_driven_bit: int,
+    settle: int,
+    full_prop: int,
+) -> int:
+    """Delay from interjection start to the mediator's detector firing.
+
+    The mediator toggles DATA every ``settle`` (two ring delays).  If
+    the DATA ring is broken at the mediator itself (it is the
+    transmitter, or a general error is being raised), its own detector
+    saturates after THRESHOLD toggles circulate.  If a member
+    transmitter is still driving DATA, that node's detector must
+    saturate first (THRESHOLD toggles), after which it resumes
+    forwarding; its output snaps to the circulating toggle value —
+    producing one extra edge when its last driven bit differs — and
+    the mediator then needs the remaining edges.
+    """
+    threshold = constants.INTERJECTION_DETECT_TOGGLES
+    if broken_at_mediator:
+        toggles = threshold
+    elif last_driven_bit == 0:
+        # Toggle values run 1,0,1,...; the snap edge (0 -> 1) counts.
+        toggles = 2 * threshold - 1
+    else:
+        toggles = 2 * threshold
+    return toggles * settle + full_prop
+
+
+@dataclass
+class RoundContext:
+    """Inputs to :func:`plan_round`."""
+
+    topology: RingTopology
+    t0: int
+    #: position -> head-of-queue message for every arbitration entrant.
+    requests: Dict[int, Message]
+    states: Dict[int, NodeRoundState]
+    anchor_pos: Optional[int]
+    max_message_bytes: int
+
+
+def plan_round(ctx: RoundContext) -> TransactionPlan:
+    """Compute one complete bus round analytically."""
+    topo = ctx.topology
+    timing = topo.timing
+    n = topo.n
+    half = timing.half_period_ps
+    settle = 2 * timing.ring_delay_ps(n)
+    full_prop = topo.full_prop
+
+    winner = resolve_arbitration(n, ctx.requests, ctx.anchor_pos)
+    if winner is None:
+        return _plan_wakeup_round(ctx, half, settle, full_prop)
+
+    message = ctx.requests[winner]
+    stream = _stream_bits(message)
+    addr_bits = message.dest.n_bits
+    n_bytes = message.n_bytes
+    nodes = topo.nodes
+
+    # Receiver set: every non-transmitting node whose address matches.
+    rx_positions = [
+        node.position
+        for node in nodes
+        if node.position != winner and matches(node, message.dest)
+    ]
+
+    # --- where does the transaction end? --------------------------------
+    r_eom = 3 + len(stream)
+    candidates = [("eom", r_eom)]
+    for pos in rx_positions:
+        buffer_bytes = nodes[pos].rx_buffer_bytes
+        k_abort = max(buffer_bytes + 1, constants.MIN_PROGRESS_BYTES)
+        if k_abort <= n_bytes:
+            candidates.append(("abort", 3 + addr_bits + 8 * k_abort))
+    r_watchdog = (
+        constants.ARBITRATION_CYCLES
+        + constants.ADDR_CYCLES_FULL
+        + 8 * ctx.max_message_bytes
+        + 8
+        + 1
+    )
+    if r_watchdog < r_eom:
+        candidates.append(("runaway", r_watchdog))
+    r_end = min(r for _, r in candidates)
+    kinds = {kind for kind, r in candidates if r == r_end}
+    runaway = "runaway" in kinds
+    eom = "eom" in kinds and not runaway
+    aborted = "abort" in kinds and not runaway
+
+    data_bytes_latched = max(0, (r_end - 3 - addr_bits) // 8)
+    delivered_payload = message.payload[: data_bytes_latched]
+
+    # --- interjection timing ---------------------------------------------
+    broken_at_mediator = winner == 0
+    if runaway:
+        # The mediator interjects the moment it drives rising R.
+        t_interject = ctx.t0 + 2 * r_end * half
+    elif broken_at_mediator:
+        # The mediator's member cannot hold CLK; it calls straight into
+        # the mediator when it latches its final bit (one ring delay
+        # after the mediator drove that rising edge).
+        t_interject = ctx.t0 + 2 * r_end * half + full_prop
+    else:
+        # A member held CLK high; the mediator notices when its next
+        # rising edge fails to propagate — one full cycle later.
+        t_interject = ctx.t0 + 2 * (r_end + 1) * half
+
+    overruns = {
+        pos for pos in rx_positions
+        if data_bytes_latched > nodes[pos].rx_buffer_bytes
+    }
+    # Who is breaking the CLK ring when the mediator interjects?  The
+    # transmitter at end of message, the (first) aborting receiver on
+    # an overrun; nobody on a runaway (the mediator acts directly).
+    holder_pos = None
+    if not runaway and not broken_at_mediator:
+        holder_pos = winner if eom else min(overruns)
+    if broken_at_mediator:
+        last_bit = 0
+    else:
+        # Bits the transmitter has pushed out: one per falling edge
+        # from #4; it sees the absorbed falling R+1 only if the CLK
+        # holder is further around the ring than it is.
+        if eom:
+            last_index = len(stream) - 1
+        else:
+            saw_extra_falling = (
+                holder_pos is not None and winner < holder_pos
+            )
+            last_index = min(
+                len(stream) - 1, r_end - 3 if saw_extra_falling else r_end - 4
+            )
+        last_bit = stream[last_index]
+    fire = t_interject + interjection_fire_delay(
+        broken_at_mediator, last_bit, settle, full_prop
+    )
+    tc0 = fire + settle                      # control phase begins
+    end_ps = tc0 + 6 * half                  # third control rising
+
+    # --- control-bit resolution (Figure 7) -------------------------------
+    slot1: Dict[int, int] = {}
+    if runaway:
+        slot1[0] = 0                          # mediator drives General Error
+    if eom:
+        slot1[winner] = 1                     # complete message
+    if aborted:
+        for pos in overruns:
+            slot1[pos] = 0                    # incomplete: abort
+    bit0 = {q: nearest_upstream(n, slot1, q) for q in range(n)}
+
+    slot2: Dict[int, int] = {}
+    if runaway:
+        slot2[0] = 0
+    for pos in rx_positions:
+        node = nodes[pos]
+        if pos in overruns or bit0[pos] == 0:
+            ack = 1                           # never ACK a dead message
+        elif node.ack_policy is not None:
+            ack = 0 if node.ack_policy(delivered_payload) else 1
+        else:
+            ack = 0
+        slot2[pos] = ack
+    bit1 = {q: nearest_upstream(n, slot2, q) for q in range(n)}
+
+    codes = {q: ControlCode.from_bits(bit0[q], bit1[q]) for q in range(n)}
+
+    # --- per-node timings -------------------------------------------------
+    plan = TransactionPlan(
+        kind="message",
+        t0=ctx.t0,
+        end_ps=end_ps,
+        clock_cycles=r_end,
+        control_cycles=constants.CONTROL_CYCLES,
+        control=codes[0],
+        general_error=runaway,
+        error_reason="runaway-message" if runaway else "",
+        winner=winner,
+        message=message,
+        tx_control=codes[winner],
+        tx_success=codes[winner] is ControlCode.EOM_ACK,
+        tx_bytes_sent=(
+            n_bytes
+            if codes[winner] is ControlCode.EOM_ACK
+            else max(0, (r_end - 3 - addr_bits) // 8 - 1)
+        ),
+    )
+    for q in range(n):
+        plan.node_end_at[q] = end_ps + topo.clk_prop(q)
+
+    for q in range(n):
+        state = ctx.states[q]
+        if state.bus_on and state.layer_on:
+            continue  # nothing to wake; skip the edge arithmetic
+        sees_extra = holder_pos is not None and 0 < q <= holder_pos
+        n_edges = 2 * r_end + (2 if sees_extra else 0) + 6
+        prop = topo.clk_prop(q)
+        edge_at = lambda i: _edge_time_at(  # noqa: E731 - tiny local helper
+            i, ctx.t0, half, r_end, tc0, prop, sees_extra, t_interject
+        )
+        bus_on_edge_index = None
+        if not state.bus_on:
+            bus_on_edge_index = 3                       # fourth edge
+            plan.bus_wake_at[q] = edge_at(3)
+        if not state.layer_on:
+            arm_candidates = []
+            if state.pending_interrupt:
+                if bus_on_edge_index is not None:
+                    # Armed inside the bus domain's power-on callback;
+                    # the layer sequencer steps on that same edge.
+                    arm_candidates.append(
+                        ("interrupt", bus_on_edge_index, True)
+                    )
+                elif state.is_pulser:
+                    # Bus already on: the null pulse armed the layer
+                    # directly, before the first clock edge.
+                    arm_candidates.append(("interrupt", -1, False))
+            if q in rx_positions:
+                r_match = 3 + addr_bits
+                arm_candidates.append(("rx-wakeup", 2 * r_match - 1, False))
+            if arm_candidates:
+                reason, arm_index, same_edge_step = min(
+                    arm_candidates, key=lambda c: c[1]
+                )
+                on_index = arm_index + (3 if same_edge_step else 4)
+                if on_index < n_edges:
+                    plan.layer_wake_at[q] = (edge_at(on_index), reason)
+
+    # --- deliveries --------------------------------------------------------
+    for pos in sorted(rx_positions, key=lambda p: (p == 0, p)):
+        code = codes[pos]
+        state = ctx.states[pos]
+        layer_ready = state.layer_on or pos in plan.layer_wake_at
+        plan.rx.append(
+            RxDelivery(
+                position=pos,
+                name=nodes[pos].name,
+                control=code,
+                payload=delivered_payload,
+                delivered=(
+                    code in (ControlCode.EOM_ACK, ControlCode.RX_ABORT)
+                    and layer_ready
+                ),
+                arrived_at_ps=plan.node_end_at[pos],
+            )
+        )
+
+    # --- wire-activity estimate -------------------------------------------
+    stream_edges = _stream_transitions(stream[: r_end - 3])
+    toggles = interjection_fire_delay(
+        broken_at_mediator, last_bit, 1, 0
+    )
+    for q in range(n):
+        clk_edges = 2 * r_end + 6
+        if holder_pos is not None and q <= holder_pos:
+            clk_edges += 2
+        plan.wire_activity[q] = clk_edges + stream_edges + toggles + 3
+    return plan
+
+
+def _plan_wakeup_round(
+    ctx: RoundContext, half: int, settle: int, full_prop: int
+) -> TransactionPlan:
+    """A null transaction: no arbitration winner, general error raised.
+
+    This is how sleeping nodes are woken (Section 4.5): the interrupt
+    controller's pulse starts the mediator's clock, nobody requests,
+    and the resulting General Error round steps every armed wakeup
+    sequencer through its four edges.
+    """
+    topo = ctx.topology
+    n = topo.n
+    anchored = ctx.anchor_pos is not None
+    if anchored:
+        # The anchor performs the no-winner check at the arbitration
+        # latch and holds CLK; the mediator notices a cycle later and
+        # runs an ordinary (non-general) interjection — the anchor,
+        # not the mediator, drives the (0, 0) error code, so the
+        # mediator's report does NOT flag a general error even though
+        # the latched control bits decode to one.
+        t_interject = ctx.t0 + 4 * half
+        fire = t_interject + interjection_fire_delay(False, 1, settle, full_prop)
+    else:
+        t_interject = ctx.t0 + 2 * half
+        fire = t_interject + interjection_fire_delay(True, 1, settle, full_prop)
+    tc0 = fire + settle
+    end_ps = tc0 + 6 * half
+
+    plan = TransactionPlan(
+        kind="wakeup",
+        t0=ctx.t0,
+        end_ps=end_ps,
+        clock_cycles=1,
+        control_cycles=constants.CONTROL_CYCLES,
+        control=ControlCode.GENERAL_ERROR,
+        general_error=not anchored,
+        error_reason="" if anchored else "no-arbitration-winner",
+        winner=None,
+        message=None,
+        tx_control=None,
+        tx_success=False,
+        tx_bytes_sent=0,
+    )
+    for q in range(n):
+        prop = topo.clk_prop(q)
+        plan.node_end_at[q] = end_ps + prop
+        # Edges each node sees: f1, r1, then the six control edges.
+        edges = [
+            ctx.t0 + half + prop,
+            ctx.t0 + 2 * half + prop,
+        ] + [tc0 + k * half + prop for k in range(1, 7)]
+        state = ctx.states[q]
+        bus_on_index = None
+        if not state.bus_on:
+            bus_on_index = 3
+            plan.bus_wake_at[q] = edges[3]
+        if not state.layer_on and state.pending_interrupt:
+            if bus_on_index is not None:
+                on_index = bus_on_index + 3      # same-edge first step
+            elif state.is_pulser:
+                on_index = 3                     # armed before f1
+            else:
+                on_index = None
+            if on_index is not None and on_index < len(edges):
+                plan.layer_wake_at[q] = (edges[on_index], "interrupt")
+        plan.wire_activity[q] = 8 + 6
+    return plan
+
+
+def _edge_time_at(
+    index: int,
+    t0: int,
+    half: int,
+    r_end: int,
+    tc0: int,
+    prop: int,
+    sees_extra: bool,
+    t_interject: int,
+) -> int:
+    """Arrival time of the ``index``-th CLK edge (0-based) at one node.
+
+    Transfer edges f1..rR arrive at every node.  When a member holds
+    CLK (end of message or receiver abort), nodes between the mediator
+    and the holder additionally see the absorbed falling edge and the
+    mediator's rise-back at interjection start.  The six control edges
+    close the round.  O(1): no per-cycle list is materialised, which
+    matters for kilobyte messages (R in the thousands).
+    """
+    if index < 2 * r_end:
+        # Edge pairs: f_k at index 2k-2, r_k at index 2k-1.
+        k = index // 2 + 1
+        if index % 2 == 0:
+            return t0 + (2 * k - 1) * half + prop
+        return t0 + 2 * k * half + prop
+    index -= 2 * r_end
+    if sees_extra:
+        if index == 0:
+            return t0 + (2 * r_end + 1) * half + prop  # absorbed falling
+        if index == 1:
+            return t_interject + prop                   # rise-back
+        index -= 2
+    return tc0 + (index + 1) * half + prop

@@ -10,10 +10,18 @@ edge-accurate MBus model (:mod:`repro.core`) runs:
   nets through propagation delays (modelling bond wires / pad drivers).
 * :class:`~repro.sim.tracer.Tracer` — a VCD-style transition recorder
   used by tests and examples to inspect waveforms.
+* :mod:`~repro.sim.fastpath` — the transaction-level backend behind
+  ``MBusSystem(mode="fast")``: bus rounds planned in closed form by
+  :mod:`repro.core.tlm_engine` and realised as a handful of events
+  instead of per-edge simulation (see EXPERIMENTS.md).
 
-The substrate is deliberately tiny and dependency-free; everything is
-pure Python so that the protocol logic stays easy to audit against the
-paper's waveform figures (Figs. 5-7).
+The substrate (scheduler, signals, tracer) is deliberately tiny and
+dependency-free; everything is pure Python so that the protocol logic
+stays easy to audit against the paper's waveform figures (Figs. 5-7).
+``fastpath`` is the one exception to the layering: it reaches up into
+:mod:`repro.core` for message/plan types, so it is imported lazily by
+``MBusSystem.build()`` and must never be imported from this package's
+top level (that would close an import cycle).
 """
 
 from repro.sim.scheduler import Event, Simulator, SimulationError

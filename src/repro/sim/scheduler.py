@@ -29,20 +29,30 @@ class Event:
     Events are ordered by ``(time, seq)`` where ``seq`` is a global
     insertion counter, so two events at the same instant fire in the
     order they were scheduled.  Cancelling an event is O(1): it is
-    flagged and skipped when popped.
+    flagged and skipped when popped, and the owning simulator's live
+    pending counter is decremented immediately.
     """
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: int, seq: int, fn: Callable[[], None], sim=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
-        """Prevent this event from firing (safe to call twice)."""
-        self.cancelled = True
+        """Prevent this event from firing (safe to call twice).
+
+        Cancelling an event that already fired is a no-op for the
+        counter: ``sim`` is cleared when the event is consumed.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._pending_count -= 1
+                self.sim = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -70,6 +80,10 @@ class Simulator:
         self._seq = 0
         self._queue: List[Event] = []
         self._events_processed = 0
+        # Live count of queued, non-cancelled events.  Kept in sync by
+        # schedule/pop/Event.cancel so pending() is O(1) instead of a
+        # full-queue scan.
+        self._pending_count = 0
 
     @property
     def now(self) -> int:
@@ -93,14 +107,15 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, self._seq, fn)
+        event = Event(time, self._seq, fn, self)
         self._seq += 1
+        self._pending_count += 1
         heapq.heappush(self._queue, event)
         return event
 
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events (O(1))."""
+        return self._pending_count
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
@@ -110,6 +125,11 @@ class Simulator:
                 continue
             self._now = event.time
             self._events_processed += 1
+            self._pending_count -= 1
+            # Consumed: a cancel() arriving from inside the callback
+            # (e.g. the mediator cancelling its own clock event while
+            # handling it) must not decrement the counter again.
+            event.sim = None
             event.fn()
             return True
         return False

@@ -10,26 +10,53 @@ Only one agent should logically drive a net at a time; MBus guarantees
 this structurally (each ring segment has exactly one upstream driver).
 The net itself does not arbitrate — it simply takes the last scheduled
 transition, which mirrors how a totem-pole driver overwrites the wire.
+
+Hot-path notes
+--------------
+``Net.set`` / ``Net._apply`` run once per transition of every segment
+of both rings — millions of times in the burst benchmarks — so this
+module avoids per-call allocation:
+
+* the listener chain is stored as an immutable tuple (snapshotted on
+  registration, not copied per edge);
+* deferred applies reuse one bound method instead of allocating a
+  closure per ``set()``;
+* :class:`EdgeType` is an :class:`enum.IntEnum` whose two members are
+  cached at module level, so edge classification is an index into a
+  pair instead of an Enum construction, and hot listeners may compare
+  with plain ints (``edge == 0`` for falling).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.sim.scheduler import Simulator
 
 
-class EdgeType(enum.Enum):
-    """Classification of a net transition."""
+class EdgeType(enum.IntEnum):
+    """Classification of a net transition.
 
-    RISING = "rising"
-    FALLING = "falling"
+    An ``IntEnum`` so hot-path dispatch can use the integer value
+    (``FALLING == 0``, ``RISING == 1`` — i.e. the new net value)
+    while identity comparisons (``edge is EdgeType.RISING``) keep
+    working for readability elsewhere.
+    """
+
+    FALLING = 0
+    RISING = 1
 
     @staticmethod
     def of(old: int, new: int) -> "EdgeType":
-        return EdgeType.RISING if new > old else EdgeType.FALLING
+        return _RISING if new > old else _FALLING
 
+
+#: Module-level singletons: hot paths index ``_EDGES[new_value]``
+#: instead of calling the Enum machinery.
+_FALLING = EdgeType.FALLING
+_RISING = EdgeType.RISING
+_EDGES = (_FALLING, _RISING)
 
 #: Signature of an edge callback: ``fn(net, edge_type)``.
 EdgeCallback = Callable[["Net", EdgeType], None]
@@ -48,14 +75,29 @@ class Net:
         Idle MBus lines rest high, so the default is 1.
     """
 
-    __slots__ = ("sim", "name", "_value", "_listeners", "_pending")
+    __slots__ = (
+        "sim",
+        "name",
+        "_value",
+        "_listeners",
+        "_pending",
+        "_pending_value",
+        "_apply_pending",
+    )
 
     def __init__(self, sim: Simulator, name: str, initial: int = 1):
         self.sim = sim
         self.name = name
         self._value = initial
-        self._listeners: List[EdgeCallback] = []
+        # Immutable snapshot: rebuilt on registration, never copied on
+        # the per-edge hot path.  Registration during notification is
+        # still safe — an in-flight iteration keeps the old tuple.
+        self._listeners: Tuple[EdgeCallback, ...] = ()
         self._pending = None  # type: Optional[object]
+        self._pending_value = 0
+        # One reusable bound applier instead of a fresh lambda per
+        # delayed set().
+        self._apply_pending = self._fire_pending
 
     @property
     def value(self) -> int:
@@ -63,8 +105,14 @@ class Net:
         return self._value
 
     def on_edge(self, fn: EdgeCallback) -> None:
-        """Register ``fn`` to be called on every transition."""
-        self._listeners.append(fn)
+        """Register ``fn`` to be called on every transition.
+
+        The listener chain is flattened into a tuple here, at
+        registration time (all registrations happen during system
+        ``build()``), so the per-edge dispatch loop iterates a frozen
+        snapshot with no defensive copy.
+        """
+        self._listeners = self._listeners + (fn,)
 
     def set(self, value: int, delay: int = 0) -> None:
         """Drive the net to ``value`` after ``delay`` picoseconds.
@@ -75,22 +123,26 @@ class Net:
         between driving and forwarding.
         """
         value = 1 if value else 0
-        if self._pending is not None:
-            self._pending.cancel()
+        pending = self._pending
+        if pending is not None:
+            pending.cancel()
             self._pending = None
         if delay == 0:
             self._apply(value)
         else:
-            self._pending = self.sim.schedule(delay, lambda: self._apply(value))
+            self._pending_value = value
+            self._pending = self.sim.schedule(delay, self._apply_pending)
+
+    def _fire_pending(self) -> None:
+        self._pending = None
+        self._apply(self._pending_value)
 
     def _apply(self, value: int) -> None:
-        self._pending = None
         if value == self._value:
             return
-        old = self._value
         self._value = value
-        edge = EdgeType.of(old, value)
-        for fn in list(self._listeners):
+        edge = _EDGES[value]
+        for fn in self._listeners:
             fn(self, edge)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

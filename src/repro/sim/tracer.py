@@ -33,10 +33,14 @@ class Tracer:
     def __init__(self) -> None:
         self.transitions: List[Transition] = []
         self._initial: Dict[str, int] = {}
+        # Per-net index maintained on record, so edges_of() is a dict
+        # lookup instead of an O(total transitions) scan per query.
+        self._by_net: Dict[str, List[Transition]] = {}
 
     def watch(self, net: Net) -> None:
         """Start recording ``net`` (also snapshots its current value)."""
         self._initial[net.name] = net.value
+        self._by_net.setdefault(net.name, [])
         net.on_edge(self._record)
 
     def watch_all(self, nets: Sequence[Net]) -> None:
@@ -44,18 +48,24 @@ class Tracer:
             self.watch(net)
 
     def _record(self, net: Net, _edge: EdgeType) -> None:
-        self.transitions.append(Transition(net.sim.now, net.name, net.value))
+        transition = Transition(net.sim.now, net.name, net.value)
+        self.transitions.append(transition)
+        self._by_net[net.name].append(transition)
 
     def edges_of(self, name: str) -> List[Transition]:
         """All recorded transitions of one net."""
-        return [t for t in self.transitions if t.net == name]
+        return list(self._by_net.get(name, ()))
 
     def count_edges(self, name: str, edge: EdgeType = None) -> int:
-        """Number of transitions (optionally of one polarity) on a net."""
+        """Number of transitions (optionally of one polarity) on a net.
+
+        Equality, not identity: EdgeType is an IntEnum, so callers may
+        pass a plain int (0 falling / 1 rising).
+        """
         edges = self.edges_of(name)
         if edge is None:
             return len(edges)
-        return sum(1 for t in edges if t.edge is edge)
+        return sum(1 for t in edges if t.edge == edge)
 
     def value_at(self, name: str, time: int) -> int:
         """Reconstruct the value a net held at ``time``."""

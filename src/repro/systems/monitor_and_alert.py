@@ -136,8 +136,9 @@ class ImagerSystem:
         self,
         rows: int = ROWS,
         clock_hz: float = DEFAULT_CLOCK_HZ,
+        mode: str = "edge",
     ):
-        self.system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz))
+        self.system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz), mode=mode)
         self.system.add_mediator_node("cpu", short_prefix=CPU_PREFIX)
         self.system.add_node(
             "imager",

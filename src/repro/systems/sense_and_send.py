@@ -127,13 +127,23 @@ class SenseAndSendAnalysis:
 
 
 class TemperatureSystem:
-    """The Figure 12 stack running on the edge-accurate simulator."""
+    """The Figure 12 stack running on the bus simulator.
 
-    def __init__(self, direct_to_radio: bool = True, clock_hz: float = 400_000.0):
+    ``mode="fast"`` swaps in the transaction-level backend for
+    long-horizon lifetime studies; ``"edge"`` (default) simulates
+    every ring transition.
+    """
+
+    def __init__(
+        self,
+        direct_to_radio: bool = True,
+        clock_hz: float = 400_000.0,
+        mode: str = "edge",
+    ):
         from repro.core.constants import MBusTiming
 
         self.direct_to_radio = direct_to_radio
-        self.system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz))
+        self.system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz), mode=mode)
         self.system.add_mediator_node("cpu", short_prefix=CPU_PREFIX)
         self.system.add_node(
             "sensor", short_prefix=SENSOR_PREFIX, power_gated=True

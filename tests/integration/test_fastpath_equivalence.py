@@ -1,0 +1,536 @@
+"""Fast-path vs edge-engine equivalence.
+
+Every scenario below is run on both backends —
+``MBusSystem(mode="edge")`` (the golden, edge-accurate reference) and
+``MBusSystem(mode="fast")`` (the transaction-level engine) — and the
+outcomes are compared:
+
+* **exactly**: the TransactionResult stream (ok / control code /
+  transmitter / clock+control cycle counts / general-error reason),
+  the receiver set with delivered payloads, node inboxes, and
+  power-domain wake counts;
+* **within tolerance**: picosecond timings (start/end/duration) and
+  power-domain on-times, which the fast path computes in closed form
+  and which agree with the edge engine up to propagation-delay slack
+  (well under 3 %); and wire-activity estimates (30 %).
+
+The matrix covers arbitration races, priority arbitration, broadcast
+fan-out, full addressing, hierarchical power-gated wakeup (RX, TX and
+interrupt-only), receiver-buffer interjection aborts, the runaway
+watchdog, NAK paths, back-to-back bursts and mutable-priority anchors.
+"""
+
+import pytest
+
+from repro.core import Address, MBusSystem, Message
+from repro.core.constants import MBusTiming
+from repro.core.errors import ConfigurationError, ProtocolError
+
+TIMING_TOL = 0.03          # relative tolerance on ps timings
+TIMING_ABS_PS = 300_000    # absolute floor: interjection-detector slack
+ON_TIME_TOL = 0.03
+ON_TIME_ABS_S = 3e-6
+WIRE_TOL = 0.30
+
+
+def run_both(build, drive, timeout_s=None):
+    systems = {}
+    for mode in ("edge", "fast"):
+        system = MBusSystem(mode=mode)
+        build(system)
+        system.build()
+        drive(system)
+        system.run_until_idle(timeout_s=timeout_s)
+        systems[mode] = system
+    return systems["edge"], systems["fast"]
+
+
+def assert_equivalent(edge, fast):
+    assert len(fast.transactions) == len(edge.transactions)
+    for e, f in zip(edge.transactions, fast.transactions):
+        assert f.ok == e.ok
+        assert f.control == e.control
+        assert f.tx_node == e.tx_node
+        assert f.clock_cycles == e.clock_cycles
+        assert f.control_cycles == e.control_cycles
+        assert f.general_error == e.general_error
+        assert f.error_reason == e.error_reason
+        assert (f.message is None) == (e.message is None)
+        if e.message is not None:
+            assert f.message.payload == e.message.payload
+        assert sorted(
+            (name, bytes(m.payload), m.control) for name, m in f.rx_deliveries
+        ) == sorted(
+            (name, bytes(m.payload), m.control) for name, m in e.rx_deliveries
+        )
+        for attr in ("start_ps", "end_ps", "duration_ps"):
+            ev, fv = getattr(e, attr), getattr(f, attr)
+            assert abs(fv - ev) <= max(TIMING_TOL * ev, TIMING_ABS_PS), (
+                f"{attr}: edge={ev} fast={fv}"
+            )
+    edge_power = edge.power_domain_report()
+    fast_power = fast.power_domain_report()
+    for name, report in edge_power.items():
+        assert fast_power[name]["bus_wakeups"] == report["bus_wakeups"], name
+        assert fast_power[name]["layer_wakeups"] == report["layer_wakeups"], name
+        for key in ("bus_on_s", "layer_on_s"):
+            ev, fv = report[key], fast_power[name][key]
+            assert abs(fv - ev) <= max(ON_TIME_TOL * ev, ON_TIME_ABS_S), (
+                f"{name}.{key}: edge={ev} fast={fv}"
+            )
+    for name, count in edge.wire_activity().items():
+        if count:
+            assert abs(fast.wire_activity()[name] - count) <= WIRE_TOL * count
+    # Inbox payloads and node-level transmit outcomes line up per
+    # node.  bytes_sent matters: the fast path derives it from the
+    # analytic edge count, the edge engine from actual driven bits.
+    for node in edge.nodes:
+        assert [m.payload for m in fast.node(node.name).inbox] == [
+            m.payload for m in node.inbox
+        ]
+        assert [
+            (o.success, o.control, o.bytes_sent)
+            for o in fast.node(node.name).results
+        ] == [
+            (o.success, o.control, o.bytes_sent) for o in node.results
+        ], node.name
+
+
+def three_plain(system):
+    system.add_mediator_node("m", short_prefix=0x1)
+    system.add_node("a", short_prefix=0x2)
+    system.add_node("b", short_prefix=0x3)
+
+
+def three_gated(system):
+    system.add_mediator_node("m", short_prefix=0x1)
+    system.add_node("a", short_prefix=0x2, power_gated=True)
+    system.add_node("b", short_prefix=0x3, power_gated=True)
+
+
+class TestFastPathEquivalence:
+    def test_single_short_transaction(self):
+        assert_equivalent(*run_both(
+            three_plain,
+            lambda s: s.post("a", Address.short(0x3, 5), b"\x01\x02\x03"),
+        ))
+
+    def test_mediator_member_transmit(self):
+        assert_equivalent(*run_both(
+            three_plain, lambda s: s.post("m", Address.short(0x2), b"\xAA")
+        ))
+
+    def test_full_address(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2, full_prefix=0x12345)
+            s.add_node("b", short_prefix=0x3)
+
+        assert_equivalent(*run_both(
+            build, lambda s: s.post("b", Address.full(0x12345, 2), b"\x10\x20")
+        ))
+
+    def test_broadcast_fanout(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2,
+                       broadcast_channels=frozenset({0, 1}))
+            s.add_node("b", short_prefix=0x3,
+                       broadcast_channels=frozenset({0}))
+
+        assert_equivalent(*run_both(
+            build, lambda s: s.post("a", Address.broadcast(0), b"\x55")
+        ))
+
+    def test_arbitration_race_topological_priority(self):
+        def drive(s):
+            s.post("a", Address.short(0x3), b"\x0A")
+            s.post("b", Address.short(0x2), b"\x0B")
+
+        edge, fast = run_both(three_plain, drive)
+        assert_equivalent(edge, fast)
+        # Topological priority: 'a' sits first after the mediator.
+        assert [r.tx_node for r in fast.transactions] == ["a", "b"]
+
+    def test_priority_arbitration_beats_topology(self):
+        def drive(s):
+            s.post("a", Address.short(0x3), b"\x0A")
+            s.post("b", Address.short(0x2), b"\x0B", priority=True)
+
+        edge, fast = run_both(three_plain, drive)
+        assert_equivalent(edge, fast)
+        assert [r.tx_node for r in fast.transactions] == ["b", "a"]
+
+    def test_two_priority_requesters(self):
+        def build(s):
+            three_plain(s)
+            s.add_node("c", short_prefix=0x4)
+
+        def drive(s):
+            s.post("a", Address.short(0x1), b"\x0A")
+            s.post("b", Address.short(0x1), b"\x0B", priority=True)
+            s.post("c", Address.short(0x1), b"\x0C", priority=True)
+
+        edge, fast = run_both(build, drive)
+        assert_equivalent(edge, fast)
+        assert [r.tx_node for r in fast.transactions] == ["b", "c", "a"]
+
+    def test_power_gated_rx_wakeup(self):
+        assert_equivalent(*run_both(
+            three_gated, lambda s: s.post("m", Address.short(0x2), b"\x77")
+        ))
+
+    def test_power_gated_tx_wakeup_null_transaction(self):
+        edge, fast = run_both(
+            three_gated, lambda s: s.post("a", Address.short(0x3), b"\x88")
+        )
+        assert_equivalent(edge, fast)
+        # The sleeping transmitter first raises a wakeup (General
+        # Error) round, then sends for real.
+        assert fast.transactions[0].general_error
+        assert fast.transactions[1].ok
+
+    def test_interrupt_only_wakeup(self):
+        fired = {"edge": [], "fast": []}
+
+        def drive_for(mode):
+            def drive(s):
+                s.node("a").on_interrupt = (
+                    lambda node: fired[mode].append(node.name)
+                )
+                s.interrupt("a")
+            return drive
+
+        systems = {}
+        for mode in ("edge", "fast"):
+            system = MBusSystem(mode=mode)
+            three_gated(system)
+            system.build()
+            drive_for(mode)(system)
+            system.run_until_idle()
+            systems[mode] = system
+        assert_equivalent(systems["edge"], systems["fast"])
+        assert fired["edge"] == fired["fast"] == ["a"]
+
+    def test_awake_pulser_does_not_arbitrate_its_own_pulse_round(self):
+        """interrupt() + post() on an awake node costs a null round.
+
+        Releasing the null pulse at the first clock edge switches the
+        pulser back to forwarding, wiping any bus request it drove, so
+        the edge engine runs a General Error round before the message
+        goes out — the fast path must not merge the two.
+        """
+        def drive(s):
+            s.interrupt("a")
+            s.post("a", Address.short(0x3), b"\x5A")
+
+        edge, fast = run_both(three_plain, drive)
+        assert_equivalent(edge, fast)
+        assert [r.general_error for r in fast.transactions] == [True, False]
+
+    def test_rx_buffer_overrun_abort(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+            s.add_node("b", short_prefix=0x3, rx_buffer_bytes=4)
+
+        edge, fast = run_both(
+            build, lambda s: s.post("a", Address.short(0x3), bytes(range(10)))
+        )
+        assert_equivalent(edge, fast)
+        result = fast.transactions[0]
+        assert not result.ok
+        assert result.control.name == "RX_ABORT"
+        # The receiver keeps the byte-aligned prefix it latched.
+        assert fast.node("b").inbox[0].payload == bytes(range(5))
+
+    def test_runaway_watchdog(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+            s.add_node("b", short_prefix=0x3, rx_buffer_bytes=4096)
+
+        def drive(s):
+            s.set_max_message_bytes(1024)
+            s.post("a", Address.short(0x3), bytes(1100))
+
+        edge, fast = run_both(build, drive, timeout_s=10)
+        assert_equivalent(edge, fast)
+        assert fast.transactions[0].error_reason == "runaway-message"
+
+    def test_unmatched_address_naks(self):
+        edge, fast = run_both(
+            three_plain, lambda s: s.post("a", Address.short(0x9), b"\x01")
+        )
+        assert_equivalent(edge, fast)
+        assert fast.transactions[0].control.name == "EOM_NAK"
+
+    def test_ack_policy_nak(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+            s.add_node("b", short_prefix=0x3, ack_policy=lambda p: False)
+
+        edge, fast = run_both(
+            build, lambda s: s.post("a", Address.short(0x3), b"\x01")
+        )
+        assert_equivalent(edge, fast)
+        assert not fast.transactions[0].ok
+        assert fast.node("b").inbox == []
+
+    def test_back_to_back_burst(self):
+        def drive(s):
+            for i in range(6):
+                s.post("m", Address.short(0x2, 5), bytes([i] * 8))
+
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+
+        edge, fast = run_both(build, drive)
+        assert_equivalent(edge, fast)
+        assert len(fast.transactions) == 6
+
+    def test_arbitration_anchor(self):
+        def drive(s):
+            s.set_arbitration_anchor("b")
+            s.post("a", Address.short(0x1), b"\x0A")
+
+        assert_equivalent(*run_both(three_plain, drive))
+
+    def test_mediator_added_after_members(self):
+        """Ring positions follow insertion order; the mediator may sit
+        anywhere on the ring.  Topological priority is measured from
+        the mediator, so with the mediator inserted mid-ring the
+        contested order flips relative to naive position-0 rooting —
+        the fast path rebases its ring on the mediator to match.
+        """
+        def build(s):
+            s.add_node("a", short_prefix=0x2)
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("b", short_prefix=0x3)
+
+        def drive(s):
+            s.post("a", Address.short(0x1), b"\x0A")
+            s.post("b", Address.short(0x1), b"\x0B")
+
+        edge, fast = run_both(build, drive)
+        assert_equivalent(edge, fast)
+        # 'b' is first downstream of the mediator in insertion order.
+        assert [r.tx_node for r in fast.transactions] == [
+            r.tx_node for r in edge.transactions
+        ]
+
+    def test_anchor_with_wakeup_round(self):
+        """Anchored null rounds are NOT general errors in the report.
+
+        The anchor (not the mediator) raises the no-winner interjection
+        and drives the (0, 0) code, so the mediator's report carries
+        general_error=False even though the control bits decode to
+        GENERAL_ERROR — the fast path must mirror that nuance.
+        """
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2, power_gated=True)
+            s.add_node("b", short_prefix=0x3)
+
+        def drive(s):
+            s.set_arbitration_anchor("b")
+            s.post("a", Address.short(0x3), b"\x11")
+
+        edge, fast = run_both(build, drive)
+        assert_equivalent(edge, fast)
+        wakeup = fast.transactions[0]
+        assert wakeup.control.name == "GENERAL_ERROR"
+        assert not wakeup.general_error
+
+    def test_anchor_reorders_race(self):
+        def drive(s):
+            s.set_arbitration_anchor("a")
+            s.post("a", Address.short(0x1), b"\x0A")
+            s.post("b", Address.short(0x1), b"\x0B")
+
+        edge, fast = run_both(three_plain, drive)
+        assert_equivalent(edge, fast)
+        assert [r.tx_node for r in fast.transactions] == ["a", "b"]
+
+    def test_sleeping_and_awake_racers(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+            s.add_node("c", short_prefix=0x4, power_gated=True)
+
+        def drive(s):
+            s.post("a", Address.short(0x1), b"\x0A")
+            s.post("c", Address.short(0x1), b"\x0C")
+
+        assert_equivalent(*run_both(build, drive))
+
+    def test_two_sleepers_share_one_wakeup_round(self):
+        def drive(s):
+            s.post("a", Address.short(0x1), b"\x0A")
+            s.post("b", Address.short(0x1), b"\x0B")
+
+        edge, fast = run_both(three_gated, drive)
+        assert_equivalent(edge, fast)
+        kinds = [r.general_error for r in fast.transactions]
+        assert kinds == [True, False, False]
+
+    def test_sleeper_to_sleeper_autosleep_suppression(self):
+        assert_equivalent(*run_both(
+            three_gated, lambda s: s.post("a", Address.short(0x3), b"\xAB")
+        ))
+
+    def test_no_autosleep_keeps_domains_on(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2, power_gated=True,
+                       auto_sleep=False)
+
+        def drive(s):
+            s.send("m", Address.short(0x2), b"\x01")
+            s.send("m", Address.short(0x2), b"\x02")
+
+        edge, fast = run_both(build, drive)
+        assert_equivalent(edge, fast)
+        assert fast.node("a").is_fully_awake
+
+    def test_zero_byte_payload(self):
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+
+        edge, fast = run_both(
+            build, lambda s: s.post("m", Address.short(0x2), b"")
+        )
+        assert_equivalent(edge, fast)
+        assert fast.transactions[0].clock_cycles == 11
+
+
+class TestMidTransactionWakeRegression:
+    """Regression for the null-transaction livelock.
+
+    Posting to a power-gated node whose bus domain woke as an observer
+    (bus on, layer off) used to raise null transactions forever: the
+    layer sequencer only armed on a bus power-on transition.  The node
+    shell now arms it directly when pulsing with the bus already up.
+    """
+
+    def _drive(self, system):
+        system.post("a", Address.short(0x1), b"\x0A" * 8)
+        system.sim.schedule(
+            30_000_000,
+            lambda: system.node("c").post(
+                Message(dest=Address.short(0x1), payload=b"\x0C")
+            ),
+        )
+        system.run_until_idle(timeout_s=1.0)
+
+    def _build(self, mode):
+        system = MBusSystem(mode=mode)
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        system.add_node("c", short_prefix=0x4, power_gated=True)
+        system.build()
+        return system
+
+    def test_edge_engine_terminates(self):
+        system = self._build("edge")
+        self._drive(system)
+        assert system.is_idle
+        assert [r.general_error for r in system.transactions] == [
+            False, True, False,
+        ]
+        assert system.transactions[-1].tx_node == "c"
+
+    def test_fast_path_matches(self):
+        edge = self._build("edge")
+        self._drive(edge)
+        fast = self._build("fast")
+        self._drive(fast)
+        assert_equivalent(edge, fast)
+
+
+class TestFastPathScope:
+    """The fast path states its limits instead of silently diverging."""
+
+    def test_tracing_requires_edge_mode(self):
+        with pytest.raises(ConfigurationError):
+            MBusSystem(mode="fast", trace=True)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MBusSystem(mode="warp")
+
+    def test_third_party_interjection_requires_edge_mode(self):
+        system = MBusSystem(mode="fast")
+        system.add_mediator_node("m", short_prefix=0x1)
+        system.add_node("a", short_prefix=0x2)
+        system.build()
+        with pytest.raises(ProtocolError):
+            system.node("a").request_interjection()
+
+    def test_sleep_from_on_receive_raises_on_both_backends(self):
+        """The bus is still busy while deliveries run (edge engines
+        idle only after their control edges), so sleeping from an
+        on_receive handler is mid-transaction on both backends."""
+        outcomes = {}
+        for mode in ("edge", "fast"):
+            system = MBusSystem(mode=mode)
+            system.add_mediator_node("m", short_prefix=0x1)
+            system.add_node("a", short_prefix=0x2, power_gated=True,
+                            auto_sleep=False)
+            system.build()
+
+            def try_sleep(node, _msg):
+                try:
+                    node.sleep()
+                    outcomes[mode] = "slept"
+                except ProtocolError:
+                    outcomes[mode] = "raised"
+
+            system.node("a").on_receive = try_sleep
+            system.send("m", Address.short(0x2), b"\x01")
+        assert outcomes == {"edge": "raised", "fast": "raised"}
+
+    def test_fast_path_uses_far_fewer_events(self):
+        def drive(s):
+            for i in range(4):
+                s.post("m", Address.short(0x2, 5), bytes([i] * 8))
+
+        def build(s):
+            s.add_mediator_node("m", short_prefix=0x1)
+            s.add_node("a", short_prefix=0x2)
+
+        edge, fast = run_both(build, drive)
+        assert fast.sim.events_processed * 20 < edge.sim.events_processed
+
+
+class TestSystemsOnFastPath:
+    """The Section 6.3 workloads run unchanged on the fast backend."""
+
+    def test_temperature_system_round(self):
+        from repro.systems.sense_and_send import TemperatureSystem
+
+        results = {}
+        for mode in ("edge", "fast"):
+            stack = TemperatureSystem(mode=mode)
+            rounds = stack.run_round()
+            results[mode] = (
+                [(r.ok, r.tx_node, r.clock_cycles) for r in rounds],
+                stack.radio_packets(),
+            )
+        assert results["fast"] == results["edge"]
+
+    def test_imager_motion_event(self):
+        from repro.systems.monitor_and_alert import ImagerSystem
+
+        results = {}
+        for mode in ("edge", "fast"):
+            stack = ImagerSystem(rows=3, mode=mode)
+            rounds = stack.motion_event()
+            results[mode] = (
+                [(r.ok, r.tx_node, r.general_error) for r in rounds],
+                stack.received_rows(),
+            )
+        assert results["fast"] == results["edge"]

@@ -96,6 +96,35 @@ class TestCancellation:
         assert sim.pending() == 1
         sim.run()
 
+    def test_pending_live_count_stays_consistent(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(10 * (i + 1), lambda: None)
+        assert sim.pending() == 4
+        sim.step()
+        assert sim.pending() == 3
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        # Regression: the mediator cancels its own clock event from
+        # inside that event's callback; the counter must not double-
+        # decrement for an already-consumed event.
+        sim = Simulator()
+        holder = {}
+        holder["event"] = sim.schedule(10, lambda: holder["event"].cancel())
+        sim.schedule(20, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_pending_never_negative_under_self_cancel_loops(self):
+        sim = Simulator()
+        for _ in range(3):
+            holder = {}
+            holder["e"] = sim.schedule(5, lambda h=holder: h["e"].cancel())
+            sim.run()
+        assert sim.pending() == 0
+
 
 class TestRunControl:
     def test_run_until_stops_at_boundary(self):
