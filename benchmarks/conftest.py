@@ -13,7 +13,6 @@ full 10x acceptance bar lives in ``test_perf_engine.py``).
 """
 
 import sys
-import time
 
 import pytest
 
@@ -38,28 +37,51 @@ def report(capsys):
     return _report
 
 
-def run_burst(mode: str, n_messages: int = BURST_MESSAGES):
-    """One fig14 burst; returns (wall_s, events, txns, sim_seconds)."""
-    from repro.core import Address, MBusSystem
-    from repro.core.constants import MBusTiming
+def burst_spec():
+    """The two-node fig14 topology as a declarative spec."""
+    from repro.scenario import NodeSpec, SystemSpec
 
-    system = MBusSystem(
-        timing=MBusTiming(clock_hz=BURST_CLOCK_HZ), mode=mode
+    return SystemSpec(
+        name="fig14-burst",
+        clock_hz=BURST_CLOCK_HZ,
+        nodes=(
+            NodeSpec("m", short_prefix=0x1, is_mediator=True),
+            NodeSpec("a", short_prefix=0x2),
+        ),
     )
-    system.add_mediator_node("m", short_prefix=0x1)
-    system.add_node("a", short_prefix=0x2)
-    system.build()
-    for i in range(n_messages):
-        system.post(
-            "m", Address.short(0x2, 5),
-            bytes([i % 256] * BURST_PAYLOAD_BYTES),
-        )
-    start = time.perf_counter()
-    system.run_until_idle()
-    wall_s = time.perf_counter() - start
-    assert len(system.transactions) == n_messages
-    assert all(r.ok for r in system.transactions)
-    return wall_s, system.sim.events_processed, n_messages, system.sim.now / 1e12
+
+
+def burst_workload(n_messages: int = BURST_MESSAGES):
+    """The saturating burst as a backend-agnostic workload object."""
+    from repro.core import Address
+    from repro.scenario import Burst
+
+    return Burst(
+        source="m",
+        dest=Address.short(0x2, 5),
+        payload=bytes(range(BURST_PAYLOAD_BYTES)),
+        count=n_messages,
+    )
+
+
+def run_burst(mode: str, n_messages: int = BURST_MESSAGES):
+    """One fig14 burst; returns (wall_s, events, txns, sim_seconds).
+
+    The same Burst workload object drives both backends through the
+    scenario runner, so edge/fast timings always measure identical
+    traffic (``report.wall_s`` times only ``run_until_idle``).
+    """
+    from repro.scenario import run
+
+    report = run(burst_spec(), burst_workload(n_messages), backend=mode)
+    assert report.n_transactions == n_messages
+    assert report.n_ok == n_messages
+    return (
+        report.wall_s,
+        report.events_processed,
+        n_messages,
+        report.sim_time_s,
+    )
 
 
 def measure_burst(mode: str, repeats: int = 3):
@@ -83,6 +105,8 @@ def burst_runner():
     return {
         "run": run_burst,
         "measure": measure_burst,
+        "spec": burst_spec,
+        "workload": burst_workload,
         "messages": BURST_MESSAGES,
         "payload_bytes": BURST_PAYLOAD_BYTES,
         "clock_hz": BURST_CLOCK_HZ,

@@ -74,3 +74,31 @@ def test_fig14_burst_saturation_on_edge_sim(benchmark, report, burst_runner):
     # but must stay within the no-interjection ceiling (14 + 8n).
     ceiling = clock_hz / (14 + 8 * burst_runner["payload_bytes"])
     assert 0.5 * model < achieved <= ceiling
+
+
+def test_fig14_same_workload_on_both_backends(report, burst_runner):
+    """One Burst workload object, both simulation engines.
+
+    The scenario runner drives the identical compiled schedule through
+    ``backend="edge"`` and ``backend="fast"``; the transaction streams
+    must be indistinguishable (timing aside) and the achieved
+    saturation rates must agree to within the fast path's closed-form
+    timing slack.
+    """
+    from repro.scenario import run
+
+    spec = burst_runner["spec"]()
+    workload = burst_runner["workload"]()
+    edge = run(spec, workload, backend="edge")
+    fast = run(spec, workload, backend="fast")
+
+    assert edge.transaction_signatures() == fast.transaction_signatures()
+    assert edge.delivery_set() == fast.delivery_set()
+    assert fast.throughput_tps == pytest.approx(
+        edge.throughput_tps, rel=0.03
+    )
+    report(
+        f"fig14 burst via scenario API: edge {edge.throughput_tps:.0f} "
+        f"txn/s ({edge.events_processed} events) vs fast "
+        f"{fast.throughput_tps:.0f} txn/s ({fast.events_processed} events)"
+    )

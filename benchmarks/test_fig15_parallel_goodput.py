@@ -55,3 +55,50 @@ def test_fig15_parallel_goodput(benchmark, report):
     assert parallel_goodput_bps(128, 1, 400_000) == pytest.approx(
         393e3, rel=0.02
     )
+
+
+def test_fig15_serial_goodput_cross_checked_on_both_backends(report):
+    """Anchor the w=1 goodput curve on the simulators.
+
+    The same 128-byte Burst workload runs through the scenario runner
+    on both engines; each achieved goodput must approach (and never
+    exceed) the closed-form serial goodput, and the two backends must
+    report the same transaction stream.
+    """
+    from repro.core import Address
+    from repro.scenario import Burst, NodeSpec, SystemSpec, run
+
+    clock_hz = 400_000.0
+    payload_bytes = 128
+    spec = SystemSpec(
+        name="fig15-serial",
+        clock_hz=clock_hz,
+        nodes=(
+            NodeSpec("m", short_prefix=0x1, is_mediator=True),
+            NodeSpec("a", short_prefix=0x2),
+        ),
+    )
+    workload = Burst(
+        source="m",
+        dest=Address.short(0x2, 5),
+        payload=bytes(range(256))[:payload_bytes],
+        count=4,
+    )
+    model = parallel_goodput_bps(payload_bytes, 1, clock_hz)
+    reports = {
+        backend: run(spec, workload, backend=backend)
+        for backend in ("edge", "fast")
+    }
+    assert (
+        reports["edge"].transaction_signatures()
+        == reports["fast"].transaction_signatures()
+    )
+    for backend, result in reports.items():
+        # Inter-transaction gaps (mediator wakeup, request settling)
+        # keep the simulators below the saturated closed form.
+        assert 0.9 * model < result.goodput_bps <= 1.01 * model, backend
+    report(
+        f"fig15 serial anchor: model {model / 1e3:.1f} kbit/s; "
+        f"edge {reports['edge'].goodput_bps / 1e3:.1f} kbit/s; "
+        f"fast {reports['fast'].goodput_bps / 1e3:.1f} kbit/s"
+    )

@@ -4,7 +4,15 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import Address, MBusSystem, TransactionModel
+from repro import (
+    Address,
+    Burst,
+    MBusSystem,
+    NodeSpec,
+    SystemSpec,
+    TransactionModel,
+    run,
+)
 from repro.power import MeasuredEnergyModel
 
 
@@ -44,6 +52,25 @@ def main() -> None:
     print(f"  measured-silicon energy: "
           f"{measured.message_energy_pj(8, 3) / 1e3:.2f} nJ "
           f"(the paper's 5.6 nJ)")
+
+    # -- 6. The same experiment, declaratively. -------------------------
+    # A SystemSpec + Workload pair is pure data (JSON round-trippable);
+    # run() picks a backend and returns a structured report.  See
+    # examples/scenario_sweep.py and `python -m repro run` for more.
+    spec = SystemSpec(
+        name="quickstart",
+        nodes=(
+            NodeSpec("cpu", short_prefix=0x1, is_mediator=True),
+            NodeSpec("sensor", short_prefix=0x2, power_gated=True),
+            NodeSpec("radio", short_prefix=0x3, power_gated=True),
+        ),
+    )
+    workload = Burst("cpu", Address.short(0x2, 5), b"\x12\x34" * 4, count=5)
+    report = run(spec, workload, backend="auto")
+    print(f"\ndeclarative run [{report.backend} backend]: "
+          f"{report.n_ok}/{report.n_transactions} ok, "
+          f"{report.throughput_tps:,.0f} txn/s, "
+          f"{report.goodput_bps / 1e3:.1f} kbit/s")
 
 
 if __name__ == "__main__":

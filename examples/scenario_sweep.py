@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Declarative scenarios end to end: specs, workloads, runs, sweeps.
+
+Everything the paper's evaluation does to the bus — single
+transactions, saturating bursts, periodic sensing, random traffic,
+interrupt wakeups — is expressible as a (SystemSpec, Workload) pair:
+plain data that runs identically on the edge-accurate engine and the
+transaction-level fast path.  This example:
+
+1. builds a spec and round-trips it through JSON;
+2. runs one workload on BOTH backends and shows the results agree;
+3. sweeps clock rate over a Figure 14-style saturating burst;
+4. shows the scenario-file form used by ``python -m repro run/sweep``
+   (see examples/scenarios/fig14_burst.json).
+
+Run:  python examples/scenario_sweep.py
+"""
+
+import json
+
+from repro import Address
+from repro.scenario import (
+    Burst,
+    Interrupt,
+    NodeSpec,
+    Periodic,
+    RandomTraffic,
+    SystemSpec,
+    run,
+    sweep,
+)
+
+
+def build_spec() -> SystemSpec:
+    return SystemSpec(
+        name="sweep-demo",
+        clock_hz=400_000.0,
+        nodes=(
+            NodeSpec("cpu", short_prefix=0x1, is_mediator=True),
+            NodeSpec("sensor", short_prefix=0x2, power_gated=True),
+            NodeSpec("radio", short_prefix=0x3, power_gated=True),
+            NodeSpec("logger", short_prefix=0x4),
+        ),
+    )
+
+
+def json_round_trip(spec: SystemSpec) -> None:
+    print("=== 1. specs are data ===")
+    payload = json.dumps(spec.to_dict())
+    assert SystemSpec.from_dict(json.loads(payload)) == spec
+    print(f"  {spec.name!r}: {len(spec.nodes)} nodes, "
+          f"{len(payload)} bytes of JSON, round-trips exactly")
+
+
+def both_backends(spec: SystemSpec) -> None:
+    print("\n=== 2. one workload, two engines, one answer ===")
+    workload = (
+        Periodic("cpu", Address.short(0x2, 5), b"\x01\x02\x03\x04",
+                 period_s=0.02, count=3)
+        + RandomTraffic(seed=7, count=6, mean_gap_s=0.01)
+        + Interrupt("radio", at_s=0.05)
+    )
+    edge = run(spec, workload, backend="edge")
+    fast = run(spec, workload, backend="fast")
+    assert edge.transaction_signatures() == fast.transaction_signatures()
+    assert edge.delivery_set() == fast.delivery_set()
+    print(f"  edge: {edge.n_ok}/{edge.n_transactions} ok in "
+          f"{edge.events_processed} events, {edge.wall_s * 1e3:.1f} ms wall")
+    print(f"  fast: {fast.n_ok}/{fast.n_transactions} ok in "
+          f"{fast.events_processed} events, {fast.wall_s * 1e3:.1f} ms wall")
+    print("  transaction streams and delivery sets: identical")
+
+
+def clock_sweep(spec: SystemSpec) -> None:
+    print("\n=== 3. Figure 14-style sweep (saturating 8-byte burst) ===")
+    workload = Burst("cpu", Address.short(0x4, 5), bytes(range(8)), count=8)
+    points = sweep(
+        spec,
+        workload,
+        {"clock_hz": [100e3, 400e3, 1e6, 7.1e6]},
+        backend="fast",
+    )
+    print("      clock    txn/s    kbit/s")
+    for point in points:
+        report = point.report
+        print(f"  {point.params['clock_hz'] / 1e3:>7.0f}k  "
+              f"{report.throughput_tps:>8,.0f}  {report.goodput_bps / 1e3:>8.1f}")
+
+
+def scenario_file_form(spec: SystemSpec) -> None:
+    print("\n=== 4. the CLI scenario-file form ===")
+    document = {
+        "system": spec.to_dict(),
+        "workload": Burst("cpu", Address.short(0x2, 5), b"\xAB" * 8,
+                          count=4).to_dict(),
+        "sweep": {"clock_hz": [100e3, 400e3]},
+    }
+    print(f"  a scenario document has keys {sorted(document)}; feed it to")
+    print("    python -m repro run   SCENARIO.json [--backend edge|fast]")
+    print("    python -m repro sweep SCENARIO.json")
+    print("  (a ready-made one lives at examples/scenarios/fig14_burst.json)")
+
+
+def main() -> None:
+    spec = build_spec()
+    json_round_trip(spec)
+    both_backends(spec)
+    clock_sweep(spec)
+    scenario_file_form(spec)
+
+
+if __name__ == "__main__":
+    main()

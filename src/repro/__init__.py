@@ -6,8 +6,11 @@ the edge-accurate protocol simulator (:mod:`repro.core` on
 baseline buses for comparison (:mod:`repro.baselines`), timing and
 throughput analysis (:mod:`repro.timing`), synthesis area estimation
 (:mod:`repro.synthesis`), an MCU bitbang cost model
-(:mod:`repro.bitbang`), and the paper's two microbenchmark systems
-(:mod:`repro.systems`).
+(:mod:`repro.bitbang`), the paper's two microbenchmark systems
+(:mod:`repro.systems`), and a declarative scenario API
+(:mod:`repro.scenario`) — JSON-round-trippable topology specs,
+composable workloads, and a backend-agnostic runner with structured
+reports and parameter sweeps.
 """
 
 from repro.core import (
@@ -18,6 +21,21 @@ from repro.core import (
     Message,
     TransactionModel,
     TransactionResult,
+)
+from repro.scenario import (
+    Broadcast,
+    Burst,
+    Interrupt,
+    NodeSpec,
+    OneShot,
+    Periodic,
+    RandomTraffic,
+    RunReport,
+    SystemSpec,
+    Workload,
+    load_scenario,
+    run,
+    sweep,
 )
 
 __version__ = "1.0.0"
@@ -30,5 +48,18 @@ __all__ = [
     "Message",
     "TransactionModel",
     "TransactionResult",
+    "Broadcast",
+    "Burst",
+    "Interrupt",
+    "NodeSpec",
+    "OneShot",
+    "Periodic",
+    "RandomTraffic",
+    "RunReport",
+    "SystemSpec",
+    "Workload",
+    "load_scenario",
+    "run",
+    "sweep",
     "__version__",
 ]

@@ -2,30 +2,39 @@
 
 Commands
 --------
-``demo``
+``demo [--mode {edge,fast}]``
     Run a three-chip transaction and print the waveform-level summary.
 ``figures``
     Print the reproduced Figure 9/10/14/15 series as ASCII charts.
 ``tables``
     Print the reproduced Tables 1-3.
-``systems``
+``systems [--mode {edge,fast}]``
     Run both Section 6.3 microbenchmark systems end to end.
 ``vcd PATH``
     Simulate a traced transaction and write a VCD file to PATH.
+``run SCENARIO.json [--backend {auto,edge,fast}] [--json]``
+    Execute a declarative scenario (spec + workload) and report.
+``sweep SCENARIO.json [--backend {auto,edge,fast}] [--json]``
+    Map the scenario's parameter grid over runs (figure-style study).
+
+Scenario documents are JSON files with ``system`` / ``workload``
+(and, for ``sweep``, a ``sweep`` grid) keys — see
+:mod:`repro.scenario` and EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import Series, ascii_chart, format_table
 
 
-def _cmd_demo(_args) -> int:
+def _cmd_demo(args) -> int:
     from repro.core import Address, MBusSystem
 
-    system = MBusSystem()
+    system = MBusSystem(mode=args.mode)
     system.add_mediator_node("cpu", short_prefix=0x1)
     system.add_node("sensor", short_prefix=0x2, power_gated=True)
     system.add_node("radio", short_prefix=0x3, power_gated=True)
@@ -102,14 +111,14 @@ def _cmd_tables(_args) -> int:
     return 0
 
 
-def _cmd_systems(_args) -> int:
+def _cmd_systems(args) -> int:
     from repro.systems import (
         ImagerSystem,
         SenseAndSendAnalysis,
         TemperatureSystem,
     )
 
-    temp = TemperatureSystem()
+    temp = TemperatureSystem(mode=args.mode)
     transactions = temp.run_round()
     print("sense & send:", ", ".join(
         f"{t.tx_node}->{'/'.join(t.rx_nodes)}" for t in transactions
@@ -118,7 +127,7 @@ def _cmd_systems(_args) -> int:
     print(f"  lifetime gain from direct routing: "
           f"{analysis.lifetime_gain_hours():.0f} hours")
 
-    imager = ImagerSystem(rows=4)
+    imager = ImagerSystem(rows=4, mode=args.mode)
     events = imager.motion_event()
     print(f"imager: motion event -> {len(events)} transactions, "
           f"{len(imager.received_rows())} rows at the radio")
@@ -138,17 +147,93 @@ def _cmd_vcd(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    from repro.scenario import load_scenario, run
+
+    spec, workload, _grid = load_scenario(args.scenario)
+    report = run(spec, workload, backend=args.backend)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.scenario import load_scenario, sweep
+
+    spec, workload, grid = load_scenario(args.scenario)
+    if not grid:
+        print(f"error: {args.scenario} has no 'sweep' grid; use 'run' "
+              "for a single execution", file=sys.stderr)
+        return 2
+    points = sweep(spec, workload, grid, backend=args.backend)
+    if not points:
+        print(f"error: the sweep grid in {args.scenario} enumerates no "
+              "points (a parameter has an empty value list)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            [{"params": p.params, "report": p.report.to_dict()}
+             for p in points],
+            indent=2,
+        ))
+        return 0
+    rows = [
+        (
+            ", ".join(f"{k}={v}" for k, v in p.params.items()),
+            f"{p.report.n_ok}/{p.report.n_transactions}",
+            f"{p.report.throughput_tps:,.0f}",
+            f"{p.report.goodput_bps / 1e3:,.1f}",
+            f"{p.report.energy_pj() / 1e3:.2f}",
+        )
+        for p in points
+    ]
+    print(format_table(
+        ["Point", "OK", "txn/s", "kbit/s", "nJ"],
+        rows,
+        title=f"Sweep: {spec.name or 'scenario'} "
+              f"[{points[0].report.backend} backend]",
+    ))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="MBus (ISCA 2015) reproduction tools"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("demo", help="run a three-chip transaction")
+    demo = sub.add_parser("demo", help="run a three-chip transaction")
     sub.add_parser("figures", help="print reproduced figures")
     sub.add_parser("tables", help="print reproduced tables")
-    sub.add_parser("systems", help="run the 6.3 microbenchmark systems")
+    systems = sub.add_parser(
+        "systems", help="run the 6.3 microbenchmark systems"
+    )
+    for command in (demo, systems):
+        command.add_argument(
+            "--mode",
+            choices=("edge", "fast"),
+            default="edge",
+            help="simulation backend (default: edge-accurate)",
+        )
     vcd = sub.add_parser("vcd", help="write a waveform VCD")
     vcd.add_argument("path")
+    run_cmd = sub.add_parser("run", help="execute a declarative scenario")
+    sweep_cmd = sub.add_parser(
+        "sweep", help="map a scenario's parameter grid over runs"
+    )
+    for command in (run_cmd, sweep_cmd):
+        command.add_argument("scenario", help="path to a scenario JSON file")
+        command.add_argument(
+            "--backend",
+            choices=("auto", "edge", "fast"),
+            default="auto",
+            help="simulation backend (default: auto-select)",
+        )
+        command.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
@@ -156,6 +241,8 @@ def main(argv=None) -> int:
         "tables": _cmd_tables,
         "systems": _cmd_systems,
         "vcd": _cmd_vcd,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
     }[args.command](args)
 
 

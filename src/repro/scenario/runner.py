@@ -1,0 +1,367 @@
+"""Backend-agnostic scenario execution: :func:`run` and :func:`sweep`.
+
+``run(spec, workload)`` builds the topology described by a
+:class:`~repro.scenario.spec.SystemSpec` on the selected simulation
+backend, replays the workload's compiled schedule through the
+simulator's event queue, runs the bus to idle and returns a
+structured :class:`RunReport`.
+
+Backend selection (``backend=``)
+--------------------------------
+* ``"edge"`` / ``"fast"`` — force the edge-accurate engine or the
+  transaction-level fast path.
+* ``"auto"`` (default) — tracing implies ``"edge"`` (the fast path
+  never toggles nets, so there is nothing to trace); otherwise the
+  throughput-oriented ``"fast"`` backend is chosen.  The two are
+  result-equivalent for message-granularity workloads (enforced by
+  ``tests/integration/test_scenario_runner.py``), so ``auto`` only
+  ever changes speed, not answers.
+
+:func:`sweep` maps a parameter grid over runs: grid keys naming
+:class:`SystemSpec` fields override the spec per point, and a callable
+workload factory receives the point's parameters — enough to
+re-create the paper's figure-style studies as data.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.bus import MBusSystem, TransactionResult
+from repro.core.errors import ConfigurationError
+from repro.power.energy_model import MeasuredEnergyModel
+from repro.scenario.spec import SystemSpec
+from repro.scenario.workload import (
+    InterruptEvent,
+    PostEvent,
+    ScheduleEvent,
+    Workload,
+)
+
+PS_PER_S = 1_000_000_000_000
+
+BACKENDS = ("auto", "edge", "fast")
+
+
+def select_backend(backend: str = "auto", trace: bool = False) -> str:
+    """Resolve ``backend`` to a concrete MBusSystem mode."""
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, not {backend!r}"
+        )
+    if backend == "auto":
+        return "edge" if trace else "fast"
+    if trace and backend == "fast":
+        raise ConfigurationError(
+            "tracing requires the edge backend; use backend='edge' or 'auto'"
+        )
+    return backend
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of one scenario run.
+
+    Raw observations (the transaction stream, deliveries, power-domain
+    report, wire activity) plus derived throughput/goodput/energy
+    statistics.  ``to_dict()`` is JSON-friendly for the CLI;
+    ``transaction_signatures()`` / ``delivery_set()`` are the stable,
+    timing-free projections used for cross-backend equivalence checks.
+    """
+
+    backend: str
+    spec: SystemSpec
+    transactions: List[TransactionResult]
+    power: Dict[str, Dict[str, float]]
+    wire_activity: Dict[str, int]
+    sim_time_s: float
+    wall_s: float
+    events_processed: int
+    #: The live system (tracer access, node inboxes); excluded from
+    #: comparisons and repr.
+    system: Optional[MBusSystem] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- raw projections ---------------------------------------------------
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for t in self.transactions if t.ok)
+
+    @functools.cached_property
+    def deliveries(self) -> List[Tuple[str, bytes]]:
+        """(receiver, payload) for every delivery, in bus order.
+
+        Cached: the transaction list is fixed once the run completes,
+        and several derived statistics walk this list.
+        """
+        return [
+            (name, bytes(message.payload))
+            for t in self.transactions
+            for name, message in t.rx_deliveries
+        ]
+
+    def delivery_set(self) -> Tuple[Tuple[str, str, int], ...]:
+        """Order-insensitive delivery fingerprint: sorted
+        (receiver, payload hex, count-preserving index)."""
+        seen: Dict[Tuple[str, str], int] = {}
+        fingerprint = []
+        for name, payload in self.deliveries:
+            key = (name, payload.hex())
+            seen[key] = seen.get(key, 0) + 1
+            fingerprint.append((name, payload.hex(), seen[key]))
+        return tuple(sorted(fingerprint))
+
+    def transaction_signatures(self) -> Tuple[Tuple, ...]:
+        """Timing-free view of the transaction stream, identical
+        across backends for any message-granularity workload."""
+        return tuple(
+            (
+                t.index,
+                t.ok,
+                t.control,
+                t.tx_node,
+                None if t.message is None else bytes(t.message.payload),
+                t.clock_cycles,
+                t.control_cycles,
+                t.general_error,
+                t.error_reason,
+                tuple(sorted(t.rx_nodes)),
+            )
+            for t in self.transactions
+        )
+
+    # -- derived statistics ------------------------------------------------
+    @property
+    def delivered_payload_bits(self) -> int:
+        return sum(8 * len(payload) for _, payload in self.deliveries)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Successful transactions per simulated second."""
+        if self.sim_time_s <= 0:
+            return 0.0
+        return self.n_ok / self.sim_time_s
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per simulated second."""
+        if self.sim_time_s <= 0:
+            return 0.0
+        return self.delivered_payload_bits / self.sim_time_s
+
+    def energy_pj(self, model: Optional[MeasuredEnergyModel] = None) -> float:
+        """Message energy of the completed traffic (Section 6.2 model)."""
+        model = model or MeasuredEnergyModel()
+        n_nodes = len(self.spec.nodes)
+        total = 0.0
+        for t in self.transactions:
+            if not t.ok or t.message is None:
+                continue
+            total += model.message_energy_pj(
+                len(t.message.payload),
+                n_nodes,
+                full_address=not t.message.dest.is_short,
+                n_receivers=max(1, len(t.rx_deliveries)),
+            )
+        return total
+
+    def energy_per_delivered_bit_pj(
+        self, model: Optional[MeasuredEnergyModel] = None
+    ) -> float:
+        bits = self.delivered_payload_bits
+        if bits == 0:
+            return 0.0
+        return self.energy_pj(model) / bits
+
+    # -- presentation ------------------------------------------------------
+    def to_dict(self) -> Dict:
+        energy_pj = self.energy_pj()
+        bits = self.delivered_payload_bits
+        return {
+            "backend": self.backend,
+            "spec": self.spec.to_dict(),
+            "n_transactions": self.n_transactions,
+            "n_ok": self.n_ok,
+            "sim_time_s": self.sim_time_s,
+            "wall_s": self.wall_s,
+            "events_processed": self.events_processed,
+            "throughput_tps": self.throughput_tps,
+            "goodput_bps": self.goodput_bps,
+            "energy_pj": energy_pj,
+            "energy_per_delivered_bit_pj": energy_pj / bits if bits else 0.0,
+            "wire_activity": dict(self.wire_activity),
+            "power": self.power,
+            "transactions": [
+                {
+                    "index": t.index,
+                    "ok": t.ok,
+                    "control": None if t.control is None else t.control.name,
+                    "tx_node": t.tx_node,
+                    "payload_hex": (
+                        None if t.message is None else t.message.payload.hex()
+                    ),
+                    "rx_nodes": t.rx_nodes,
+                    "clock_cycles": t.clock_cycles,
+                    "control_cycles": t.control_cycles,
+                    "duration_ps": t.duration_ps,
+                    "general_error": t.general_error,
+                    "error_reason": t.error_reason,
+                }
+                for t in self.transactions
+            ],
+        }
+
+    def summary(self) -> str:
+        name = self.spec.name or f"{len(self.spec.nodes)}-node system"
+        energy_pj = self.energy_pj()
+        bits = self.delivered_payload_bits
+        lines = [
+            f"scenario: {name} [{self.backend} backend]",
+            f"  transactions: {self.n_ok}/{self.n_transactions} ok, "
+            f"{self.delivered_payload_bits // 8} payload bytes delivered",
+            f"  simulated {self.sim_time_s * 1e3:.3f} ms of bus time in "
+            f"{self.wall_s * 1e3:.1f} ms wall "
+            f"({self.events_processed} events)",
+            f"  throughput: {self.throughput_tps:,.0f} txn/s; "
+            f"goodput: {self.goodput_bps / 1e3:,.1f} kbit/s",
+            f"  energy: {energy_pj / 1e3:.2f} nJ "
+            f"({energy_pj / bits if bits else 0.0:.1f} pJ per delivered bit)",
+        ]
+        for node, domains in self.power.items():
+            lines.append(
+                f"  {node}: bus {domains['bus_on_s'] * 1e3:.3f} ms on "
+                f"({domains['bus_wakeups']:.0f} wakeups), layer "
+                f"{domains['layer_on_s'] * 1e3:.3f} ms on "
+                f"({domains['layer_wakeups']:.0f} wakeups)"
+            )
+        return "\n".join(lines)
+
+
+def _compile(workload, spec) -> Tuple[ScheduleEvent, ...]:
+    if isinstance(workload, Workload):
+        return workload.compile(spec)
+    events = tuple(workload)
+    for event in events:
+        if not isinstance(event, (PostEvent, InterruptEvent)):
+            raise ConfigurationError(
+                f"workload items must be schedule events, got {event!r}"
+            )
+    return tuple(sorted(events, key=lambda e: e.at_s))
+
+
+def _post_fn(system: MBusSystem, event: PostEvent):
+    return lambda: system.post(
+        event.source, event.dest, event.payload, priority=event.priority
+    )
+
+
+def _interrupt_fn(system: MBusSystem, event: InterruptEvent):
+    return lambda: system.interrupt(event.node)
+
+
+def run(
+    spec: SystemSpec,
+    workload: Union[Workload, Iterable[ScheduleEvent]],
+    backend: str = "auto",
+    trace: bool = False,
+    timeout_s: Optional[float] = None,
+    setup: Optional[Callable[[MBusSystem], Any]] = None,
+) -> RunReport:
+    """Execute ``workload`` on the system described by ``spec``.
+
+    ``setup``, if given, is called with the built :class:`MBusSystem`
+    before any traffic is scheduled — the hook for attaching
+    behavioural chips, layer handlers or observers that are code
+    rather than data.  ``timeout_s`` bounds simulated (not wall)
+    time, as in :meth:`MBusSystem.run_until_idle`.
+    """
+    mode = select_backend(backend, trace)
+    system = spec.build(mode=mode, trace=trace)
+    if setup is not None:
+        setup(system)
+    for event in _compile(workload, spec):
+        at_ps = int(round(event.at_s * PS_PER_S))
+        if isinstance(event, PostEvent):
+            system.sim.schedule_at(at_ps, _post_fn(system, event))
+        else:
+            system.sim.schedule_at(at_ps, _interrupt_fn(system, event))
+    start = time.perf_counter()
+    system.run_until_idle(timeout_s=timeout_s)
+    wall_s = time.perf_counter() - start
+    return RunReport(
+        backend=mode,
+        spec=spec,
+        transactions=list(system.transactions),
+        power=system.power_domain_report(),
+        wire_activity=system.wire_activity(),
+        sim_time_s=system.sim.now / PS_PER_S,
+        wall_s=wall_s,
+        events_processed=system.sim.events_processed,
+        system=system,
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One grid point of a :func:`sweep`: its parameters and report."""
+
+    params: Dict[str, Any]
+    report: RunReport
+
+
+def sweep(
+    spec: SystemSpec,
+    workload: Union[Workload, Callable[[Dict[str, Any]], Workload]],
+    grid: Dict[str, Iterable[Any]],
+    backend: str = "auto",
+    trace: bool = False,
+    timeout_s: Optional[float] = None,
+    setup: Optional[Callable[[MBusSystem], Any]] = None,
+) -> List[SweepPoint]:
+    """Map a parameter grid over scenario runs (figure-style studies).
+
+    ``grid`` maps parameter names to value lists; the cartesian
+    product is enumerated in order.  Keys naming :class:`SystemSpec`
+    fields (``clock_hz``, ``max_message_bytes``, ...) override the
+    spec at each point.  Any other key requires ``workload`` to be a
+    callable ``params -> Workload`` that consumes it; passing an
+    unknown key with a fixed workload is an error (it would silently
+    sweep nothing).
+    """
+    spec_fields = set(SystemSpec._KEYS) - {"nodes"}
+    non_spec = [k for k in grid if k not in spec_fields]
+    if non_spec and not callable(workload):
+        raise ConfigurationError(
+            f"grid key(s) {non_spec!r} are not SystemSpec fields and the "
+            "workload is not a factory; they would have no effect"
+        )
+    keys = list(grid)
+    points: List[SweepPoint] = []
+    for values in itertools.product(*(list(grid[k]) for k in keys)):
+        params = dict(zip(keys, values))
+        overrides = {k: v for k, v in params.items() if k in spec_fields}
+        point_spec = spec.replace(**overrides) if overrides else spec
+        point_workload = workload(params) if callable(workload) else workload
+        points.append(
+            SweepPoint(
+                params=params,
+                report=run(
+                    point_spec,
+                    point_workload,
+                    backend=backend,
+                    trace=trace,
+                    timeout_s=timeout_s,
+                    setup=setup,
+                ),
+            )
+        )
+    return points

@@ -9,8 +9,11 @@
   an always-on motion detector, a processor, and a radio on a 5 uAh
   battery.
 
-Both run on the edge-accurate simulator end-to-end *and* reproduce
-the paper's energy/overhead arithmetic analytically.
+Both run on either simulation backend end-to-end *and* reproduce the
+paper's energy/overhead arithmetic analytically.  Their topologies
+are declared as :class:`repro.scenario.SystemSpec` values
+(:func:`sense_and_send_spec`, :func:`imager_spec`) so the same
+systems are reproducible from JSON through the scenario API.
 """
 
 from repro.systems.chips import (
@@ -19,8 +22,18 @@ from repro.systems.chips import (
     RadioChip,
     TemperatureSensorChip,
 )
-from repro.systems.monitor_and_alert import ImageTransferAnalysis, ImagerSystem
-from repro.systems.sense_and_send import SenseAndSendAnalysis, TemperatureSystem
+from repro.systems.monitor_and_alert import (
+    ImageTransferAnalysis,
+    ImagerSystem,
+    imager_spec,
+    motion_event_workload,
+)
+from repro.systems.sense_and_send import (
+    SenseAndSendAnalysis,
+    TemperatureSystem,
+    sample_request_workload,
+    sense_and_send_spec,
+)
 
 __all__ = [
     "ImagerChip",
@@ -31,4 +44,8 @@ __all__ = [
     "ImagerSystem",
     "SenseAndSendAnalysis",
     "TemperatureSystem",
+    "imager_spec",
+    "motion_event_workload",
+    "sample_request_workload",
+    "sense_and_send_spec",
 ]

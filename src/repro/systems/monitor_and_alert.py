@@ -16,8 +16,9 @@ import math
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.bus import MBusSystem, TransactionResult
-from repro.core.constants import MBusTiming, OVERHEAD_CYCLES_SHORT
+from repro.core.bus import TransactionResult
+from repro.core.constants import OVERHEAD_CYCLES_SHORT
+from repro.scenario import Interrupt, NodeSpec, SystemSpec, Workload
 from repro.systems.chips import ImagerChip, RadioChip
 
 FULL_IMAGE_BYTES = 28_800
@@ -33,6 +34,36 @@ RADIO_PREFIX = 0x3
 MIN_CLOCK_HZ = 10_000
 MAX_CLOCK_HZ = 6_670_000
 DEFAULT_CLOCK_HZ = 400_000
+
+
+def imager_spec(
+    clock_hz: float = DEFAULT_CLOCK_HZ, rx_buffer_bytes: int = 4096
+) -> SystemSpec:
+    """The Figure 13 topology as a declarative, JSON-able spec."""
+    return SystemSpec(
+        name="motion-imager",
+        clock_hz=clock_hz,
+        nodes=(
+            NodeSpec("cpu", short_prefix=CPU_PREFIX, is_mediator=True),
+            NodeSpec(
+                "imager",
+                short_prefix=IMAGER_PREFIX,
+                power_gated=True,
+                rx_buffer_bytes=rx_buffer_bytes,
+            ),
+            NodeSpec(
+                "radio",
+                short_prefix=RADIO_PREFIX,
+                power_gated=True,
+                rx_buffer_bytes=rx_buffer_bytes,
+            ),
+        ),
+    )
+
+
+def motion_event_workload(at_s: float = 0.0) -> Workload:
+    """The always-on motion detector's wake pulse as a workload."""
+    return Interrupt(node="imager", at_s=at_s)
 
 
 @dataclass(frozen=True)
@@ -126,10 +157,13 @@ class ImageTransferAnalysis:
 
 
 class ImagerSystem:
-    """The Figure 13 stack on the edge-accurate simulator.
+    """The Figure 13 stack on the bus simulator.
 
-    ``rows`` can be reduced below 160 to keep edge-accurate tests
-    fast; the analysis class always uses full-frame arithmetic.
+    The topology comes from :func:`imager_spec` (exposed as
+    ``self.spec``), so the same system is reproducible from JSON via
+    the scenario API.  ``rows`` can be reduced below 160 to keep
+    edge-accurate tests fast; the analysis class always uses
+    full-frame arithmetic.
     """
 
     def __init__(
@@ -138,21 +172,8 @@ class ImagerSystem:
         clock_hz: float = DEFAULT_CLOCK_HZ,
         mode: str = "edge",
     ):
-        self.system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz), mode=mode)
-        self.system.add_mediator_node("cpu", short_prefix=CPU_PREFIX)
-        self.system.add_node(
-            "imager",
-            short_prefix=IMAGER_PREFIX,
-            power_gated=True,
-            rx_buffer_bytes=4096,
-        )
-        self.system.add_node(
-            "radio",
-            short_prefix=RADIO_PREFIX,
-            power_gated=True,
-            rx_buffer_bytes=4096,
-        )
-        self.system.build()
+        self.spec = imager_spec(clock_hz=clock_hz)
+        self.system = self.spec.build(mode=mode)
         self.imager = ImagerChip(
             self.system.node("imager"), radio_prefix=RADIO_PREFIX, rows=rows
         )

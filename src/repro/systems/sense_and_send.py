@@ -20,8 +20,9 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.core.addresses import Address
-from repro.core.bus import MBusSystem, TransactionResult
+from repro.core.bus import TransactionResult
 from repro.core.messages import Message
+from repro.scenario import NodeSpec, Periodic, SystemSpec, Workload
 from repro.core.transaction import TransactionModel
 from repro.power.accounting import EnergyLedger
 from repro.power.battery import SECONDS_PER_DAY, TEMPERATURE_SYSTEM_BATTERY, Battery
@@ -42,6 +43,42 @@ EVENT_ENERGY_NJ = 100.0           # measured whole-event energy (paper)
 CPU_PREFIX = 0x1
 SENSOR_PREFIX = 0x2
 RADIO_PREFIX = 0x3
+
+
+def sense_and_send_spec(clock_hz: float = 400_000.0) -> SystemSpec:
+    """The Figure 12 topology as a declarative, JSON-able spec."""
+    return SystemSpec(
+        name="sense-and-send",
+        clock_hz=clock_hz,
+        nodes=(
+            NodeSpec("cpu", short_prefix=CPU_PREFIX, is_mediator=True),
+            NodeSpec("sensor", short_prefix=SENSOR_PREFIX, power_gated=True),
+            NodeSpec("radio", short_prefix=RADIO_PREFIX, power_gated=True),
+        ),
+    )
+
+
+def sample_request_workload(
+    rounds: int = 1,
+    interval_s: float = SAMPLE_INTERVAL_S,
+    direct_to_radio: bool = True,
+    start_s: float = 0.0,
+) -> Workload:
+    """The CPU's periodic sample-request stream as a workload.
+
+    Drives the raw request traffic of Section 6.3.1 (the sensor's
+    behavioural reply needs a :class:`TemperatureSensorChip` attached
+    via the runner's ``setup`` hook or :class:`TemperatureSystem`).
+    """
+    reply_to = RADIO_PREFIX if direct_to_radio else CPU_PREFIX
+    return Periodic(
+        source="cpu",
+        dest=Address.short(SENSOR_PREFIX, FU_APP),
+        payload=bytes([CMD_SAMPLE_REQUEST, reply_to, FU_APP, 0]),
+        period_s=interval_s,
+        count=rounds,
+        start_s=start_s,
+    )
 
 
 @dataclass
@@ -129,9 +166,11 @@ class SenseAndSendAnalysis:
 class TemperatureSystem:
     """The Figure 12 stack running on the bus simulator.
 
-    ``mode="fast"`` swaps in the transaction-level backend for
-    long-horizon lifetime studies; ``"edge"`` (default) simulates
-    every ring transition.
+    The topology comes from :func:`sense_and_send_spec` (exposed as
+    ``self.spec``), so the same system is reproducible from JSON via
+    the scenario API.  ``mode="fast"`` swaps in the transaction-level
+    backend for long-horizon lifetime studies; ``"edge"`` (default)
+    simulates every ring transition.
     """
 
     def __init__(
@@ -140,18 +179,9 @@ class TemperatureSystem:
         clock_hz: float = 400_000.0,
         mode: str = "edge",
     ):
-        from repro.core.constants import MBusTiming
-
         self.direct_to_radio = direct_to_radio
-        self.system = MBusSystem(timing=MBusTiming(clock_hz=clock_hz), mode=mode)
-        self.system.add_mediator_node("cpu", short_prefix=CPU_PREFIX)
-        self.system.add_node(
-            "sensor", short_prefix=SENSOR_PREFIX, power_gated=True
-        )
-        self.system.add_node(
-            "radio", short_prefix=RADIO_PREFIX, power_gated=True
-        )
-        self.system.build()
+        self.spec = sense_and_send_spec(clock_hz=clock_hz)
+        self.system = self.spec.build(mode=mode)
         self.sensor = TemperatureSensorChip(self.system.node("sensor"))
         self.radio = RadioChip(self.system.node("radio"))
         self._cpu_received: List[bytes] = []

@@ -1,0 +1,49 @@
+"""Examples smoke test: every ``examples/*.py`` must run headless.
+
+The examples are user-facing API documentation; an API change that
+breaks one should fail CI, not rot silently.  Each example is run as
+a subprocess (as a user would: ``python examples/<name>.py``) with
+the repo's ``src`` on PYTHONPATH, and must exit 0 with no traceback.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+TIMEOUT_S = 120
+
+
+def test_examples_exist():
+    assert EXAMPLES, f"no examples found in {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_headless(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert "Traceback" not in completed.stderr
+    assert completed.stdout.strip(), f"{example.name} printed nothing"

@@ -1,0 +1,100 @@
+"""Enforce the fast path's documented wire-activity accuracy.
+
+``MBusSystem.wire_activity()`` in fast mode returns analytic
+transition estimates (the transaction-level backend never toggles
+nets).  Its docstring claims they "track the edge engine's counts
+closely enough for the activity-based power model" — this module
+states and enforces the tolerance: for every node that the edge
+engine reports as active, the fast-path estimate must lie within
+``WIRE_ACTIVITY_TOL`` (30 %, the same bound the fastpath-equivalence
+matrix uses) across several topologies and traffic shapes.
+"""
+
+import pytest
+
+from repro.core import Address
+from repro.scenario import (
+    Broadcast,
+    Burst,
+    Interrupt,
+    NodeSpec,
+    OneShot,
+    RandomTraffic,
+    SystemSpec,
+    run,
+)
+
+#: The stated accuracy contract of the fast path's analytic estimates.
+WIRE_ACTIVITY_TOL = 0.30
+
+THREE_PLAIN = SystemSpec(
+    name="three-plain",
+    nodes=(
+        NodeSpec("m", short_prefix=0x1, is_mediator=True),
+        NodeSpec("a", short_prefix=0x2),
+        NodeSpec("b", short_prefix=0x3),
+    ),
+)
+
+FOUR_GATED = SystemSpec(
+    name="four-gated",
+    nodes=(
+        NodeSpec("m", short_prefix=0x1, is_mediator=True),
+        NodeSpec("a", short_prefix=0x2, power_gated=True),
+        NodeSpec("b", short_prefix=0x3, power_gated=True),
+        NodeSpec("c", short_prefix=0x4, power_gated=True),
+    ),
+)
+
+SIX_MIXED_ANCHORED = SystemSpec(
+    name="six-mixed-anchored",
+    arbitration_anchor="c",
+    nodes=(
+        NodeSpec("m", short_prefix=0x1, is_mediator=True),
+        NodeSpec("a", short_prefix=0x2, power_gated=True),
+        NodeSpec("b", short_prefix=0x3),
+        NodeSpec("c", short_prefix=0x4),
+        NodeSpec("d", short_prefix=0x5, power_gated=True),
+        NodeSpec("e", short_prefix=0x6),
+    ),
+)
+
+CASES = {
+    "three_plain_burst": (
+        THREE_PLAIN,
+        Burst("a", Address.short(0x3, 5), bytes(range(16)), count=4),
+    ),
+    "three_plain_broadcast": (
+        THREE_PLAIN,
+        Broadcast("m", channel=0, payload=b"\x01\x02")
+        + OneShot("b", Address.short(0x2, 1), b"\xFF", at_s=0.01),
+    ),
+    "four_gated_wakeups": (
+        FOUR_GATED,
+        OneShot("m", Address.short(0x2, 5), b"\x11\x22")
+        + OneShot("m", Address.short(0x4, 5), b"\x33", at_s=0.02)
+        + Interrupt("b", at_s=0.04),
+    ),
+    "six_mixed_anchored_random": (
+        SIX_MIXED_ANCHORED,
+        RandomTraffic(seed=11, count=10, mean_gap_s=0.005, max_bytes=12),
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_fast_wire_activity_tracks_edge_within_tolerance(case):
+    spec, workload = CASES[case]
+    edge = run(spec, workload, backend="edge")
+    fast = run(spec, workload, backend="fast")
+    # Same traffic on both backends, or the comparison is vacuous.
+    assert edge.transaction_signatures() == fast.transaction_signatures()
+    assert any(edge.wire_activity.values()), "workload drove no wires"
+    for node, edge_count in edge.wire_activity.items():
+        if edge_count == 0:
+            continue
+        fast_count = fast.wire_activity[node]
+        assert abs(fast_count - edge_count) <= WIRE_ACTIVITY_TOL * edge_count, (
+            f"{case}/{node}: edge={edge_count} fast={fast_count} "
+            f"(tolerance {WIRE_ACTIVITY_TOL:.0%})"
+        )

@@ -137,6 +137,22 @@ class TestRunControl:
         assert set(report) == {"m", "a"}
         assert "bus_on_s" in report["a"]
 
+    def test_broadcast_accepts_priority_flag(self):
+        # broadcast() mirrors send()/post(): the priority kwarg claims
+        # the priority arbitration slot for the broadcast message.
+        system = self._system()
+        system.add_node("b", short_prefix=0x3)
+        system.build()
+        # Queue a normal message first, then a priority broadcast; the
+        # broadcast must win the next arbitration round.
+        system.post("a", Address.short(0x3, 5), b"\x01")
+        result = system.broadcast("b", channel=0, payload=b"\xEE",
+                                  priority=True)
+        assert result.message.priority
+        assert result.tx_node == "b"
+        first_two = [t.tx_node for t in system.transactions[:2]]
+        assert first_two[0] == "b"
+
 
 class TestNodeApi:
     def test_post_message_object(self):
