@@ -1,0 +1,87 @@
+"""Robustness figure: recovery rate vs. glitch rate.
+
+Reproduces the paper's *qualitative* reliability story (Sections 3,
+4.8, 4.9): a clean bus delivers everything; under seeded EMI the
+protocol degrades gracefully — disturbed transactions fail loudly
+(general errors, NAKs, interjections) rather than silently, retries
+recover what arbitration-phase kills would have lost, and the bus
+itself keeps completing transactions at every rate (no lock-up).
+"""
+
+from repro.analysis import Series, ascii_chart, format_table
+from repro.analysis.reliability import DEFAULT_RATES, recovery_vs_glitch_rate
+
+
+def test_recovery_vs_glitch_rate_story(report):
+    rows = recovery_vs_glitch_rate(rates=DEFAULT_RATES, seed=7)
+
+    report(format_table(
+        ["glitch/s", "recovery", "intact", "corrupt", "lost", "failed",
+         "txns", "interject"],
+        [
+            (
+                f"{row['glitch_rate_hz']:g}",
+                f"{row['recovery_rate']:.1%}",
+                row["intact_deliveries"],
+                row["corrupted_deliveries"],
+                row["lost_deliveries"],
+                row["failed_transactions"],
+                row["n_transactions"],
+                row["interjections"],
+            )
+            for row in rows
+        ],
+        title="Recovery rate vs. glitch rate (seeded EMI, edge backend)",
+    ) + "\n\n" + ascii_chart(
+        [Series.of(
+            "recovery rate",
+            [(row["glitch_rate_hz"], row["recovery_rate"]) for row in rows],
+        )],
+        x_label="glitches/s", y_label="recovered fraction",
+        title="Robustness under seeded wire glitches",
+    ))
+
+    clean, *noisy = rows
+    # A fault-free bus delivers everything.
+    assert clean["glitch_rate_hz"] == 0.0
+    assert clean["recovery_rate"] == 1.0
+    assert clean["failed_transactions"] == 0
+    assert clean["corrupted_deliveries"] == 0
+
+    # Disturbance grows with the glitch rate: failed transactions are
+    # monotonically non-decreasing along the (seeded) rate grid, and
+    # the heaviest EMI visibly damages deliveries.
+    failed = [row["failed_transactions"] for row in rows]
+    assert failed == sorted(failed)
+    assert noisy[-1]["recovery_rate"] < 1.0
+    assert noisy[-1]["failed_transactions"] > 0
+
+    for row in rows:
+        # No lock-up: the bus keeps completing transactions (at least
+        # one per expected message — failures spawn retries, never
+        # silence), and every transaction ends through exactly one
+        # interjection sequence.
+        assert row["n_transactions"] >= row["expected_deliveries"]
+        assert row["interjections"] == row["n_transactions"]
+        # Failures are loud: every lost delivery is accounted for by a
+        # failed or corrupted transaction, never silently dropped.
+        assert row["lost_deliveries"] <= (
+            row["failed_transactions"] + row["corrupted_deliveries"]
+        )
+
+
+def test_reliability_reports_are_seed_deterministic(report):
+    one = recovery_vs_glitch_rate(rates=(4_000.0,), seed=7)
+    two = recovery_vs_glitch_rate(rates=(4_000.0,), seed=7)
+    other = recovery_vs_glitch_rate(rates=(4_000.0,), seed=8)
+    assert one == two
+    # A different seed moves the glitches; the study is a pure
+    # function of (seed, spec, workload, grid).
+    assert one[0]["edges_injected"] != other[0]["edges_injected"] or (
+        one != other
+    )
+    report(
+        "reliability determinism: seed 7 twice -> identical rows; "
+        f"seed 8 -> {other[0]['recovery_rate']:.1%} recovery "
+        f"(vs {one[0]['recovery_rate']:.1%})"
+    )

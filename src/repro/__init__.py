@@ -7,10 +7,12 @@ baseline buses for comparison (:mod:`repro.baselines`), timing and
 throughput analysis (:mod:`repro.timing`), synthesis area estimation
 (:mod:`repro.synthesis`), an MCU bitbang cost model
 (:mod:`repro.bitbang`), the paper's two microbenchmark systems
-(:mod:`repro.systems`), and a declarative scenario API
+(:mod:`repro.systems`), a declarative scenario API
 (:mod:`repro.scenario`) — JSON-round-trippable topology specs,
 composable workloads, and a backend-agnostic runner with structured
-reports and parameter sweeps.
+reports and parameter sweeps — and a deterministic fault-injection
+and reliability subsystem (:mod:`repro.faults`) exercising the
+paper's robustness claims.
 """
 
 from repro.core import (
@@ -21,6 +23,18 @@ from repro.core import (
     Message,
     TransactionModel,
     TransactionResult,
+)
+from repro.faults import (
+    BitFlip,
+    ClockDrift,
+    DropEdge,
+    FaultSpec,
+    NodePowerLoss,
+    RandomGlitches,
+    ReliabilityReport,
+    StuckAt,
+    WireGlitch,
+    load_faults,
 )
 from repro.scenario import (
     Broadcast,
@@ -48,6 +62,16 @@ __all__ = [
     "Message",
     "TransactionModel",
     "TransactionResult",
+    "BitFlip",
+    "ClockDrift",
+    "DropEdge",
+    "FaultSpec",
+    "NodePowerLoss",
+    "RandomGlitches",
+    "ReliabilityReport",
+    "StuckAt",
+    "WireGlitch",
+    "load_faults",
     "Broadcast",
     "Burst",
     "Interrupt",

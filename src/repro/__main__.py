@@ -12,14 +12,22 @@ Commands
     Run both Section 6.3 microbenchmark systems end to end.
 ``vcd PATH``
     Simulate a traced transaction and write a VCD file to PATH.
-``run SCENARIO.json [--backend {auto,edge,fast}] [--json]``
+``run SCENARIO.json [--backend ...] [--faults FAULTS.json] [--json] [--output PATH]``
     Execute a declarative scenario (spec + workload) and report.
-``sweep SCENARIO.json [--backend {auto,edge,fast}] [--json]``
+    ``--faults`` injects a JSON fault set (forces the edge backend)
+    and adds reliability analytics; ``--output`` writes the full
+    report JSON to a file.
+``sweep SCENARIO.json [--backend ...] [--faults FAULTS.json] [--json] [--output PATH]``
     Map the scenario's parameter grid over runs (figure-style study).
+    ``--output`` writes one JSON line per sweep point (JSONL).
+``reliability``
+    Run the recovery-rate-vs-glitch-rate robustness study and print
+    the figure.
 
 Scenario documents are JSON files with ``system`` / ``workload``
-(and, for ``sweep``, a ``sweep`` grid) keys — see
-:mod:`repro.scenario` and EXPERIMENTS.md.
+(and, for ``sweep``, a ``sweep`` grid) keys; fault documents hold a
+``FaultSpec.to_dict()`` object — see :mod:`repro.scenario`,
+:mod:`repro.faults` and EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -147,14 +155,29 @@ def _cmd_vcd(args) -> int:
     return 0
 
 
+def _load_cli_faults(args):
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.faults import load_faults
+
+    return load_faults(args.faults)
+
+
 def _cmd_run(args) -> int:
     from repro.scenario import load_scenario, run
 
     spec, workload, _grid = load_scenario(args.scenario)
-    report = run(spec, workload, backend=args.backend)
+    faults = _load_cli_faults(args)
+    report = run(spec, workload, backend=args.backend, faults=faults)
+    document = report.to_dict()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote report to {args.output}")
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
-    else:
+        print(json.dumps(document, indent=2))
+    elif not args.output:
         print(report.summary())
     return 0
 
@@ -163,22 +186,33 @@ def _cmd_sweep(args) -> int:
     from repro.scenario import load_scenario, sweep
 
     spec, workload, grid = load_scenario(args.scenario)
+    faults = _load_cli_faults(args)
     if not grid:
         print(f"error: {args.scenario} has no 'sweep' grid; use 'run' "
               "for a single execution", file=sys.stderr)
         return 2
-    points = sweep(spec, workload, grid, backend=args.backend)
+    points = sweep(spec, workload, grid, backend=args.backend, faults=faults)
     if not points:
         print(f"error: the sweep grid in {args.scenario} enumerates no "
               "points (a parameter has an empty value list)",
               file=sys.stderr)
         return 2
+    if args.output:
+        with open(args.output, "w") as handle:
+            for p in points:
+                handle.write(json.dumps(
+                    {"params": p.params, "report": p.report.to_dict()}
+                ))
+                handle.write("\n")
+        print(f"wrote {len(points)} sweep points to {args.output}")
     if args.json:
         print(json.dumps(
             [{"params": p.params, "report": p.report.to_dict()}
              for p in points],
             indent=2,
         ))
+        return 0
+    if args.output:
         return 0
     rows = [
         (
@@ -195,6 +229,39 @@ def _cmd_sweep(args) -> int:
         rows,
         title=f"Sweep: {spec.name or 'scenario'} "
               f"[{points[0].report.backend} backend]",
+    ))
+    return 0
+
+
+def _cmd_reliability(args) -> int:
+    from repro.analysis.reliability import recovery_vs_glitch_rate
+
+    rows = recovery_vs_glitch_rate(seed=args.seed)
+    print(format_table(
+        ["glitch/s", "recovery", "intact", "corrupt", "lost", "failed txns",
+         "interject"],
+        [
+            (
+                f"{row['glitch_rate_hz']:g}",
+                f"{row['recovery_rate']:.1%}",
+                row["intact_deliveries"],
+                row["corrupted_deliveries"],
+                row["lost_deliveries"],
+                f"{row['failed_transactions']}/{row['n_transactions']}",
+                row["interjections"],
+            )
+            for row in rows
+        ],
+        title="Recovery rate vs. glitch rate (seeded EMI, edge backend)",
+    ))
+    print()
+    print(ascii_chart(
+        [Series.of(
+            "recovery rate",
+            [(row["glitch_rate_hz"], row["recovery_rate"]) for row in rows],
+        )],
+        x_label="glitches/s", y_label="recovered fraction",
+        title="Robustness: intact deliveries under seeded wire glitches",
     ))
     return 0
 
@@ -232,8 +299,27 @@ def main(argv=None) -> int:
             help="simulation backend (default: auto-select)",
         )
         command.add_argument(
+            "--faults",
+            metavar="FAULTS.json",
+            help="inject a JSON fault set (forces the edge backend and "
+                 "adds reliability analytics)",
+        )
+        command.add_argument(
             "--json", action="store_true", help="emit machine-readable JSON"
         )
+        command.add_argument(
+            "--output",
+            metavar="PATH",
+            help="write results to a file (run: JSON report; sweep: one "
+                 "JSON line per point)",
+        )
+    reliability_cmd = sub.add_parser(
+        "reliability",
+        help="run the recovery-vs-glitch-rate robustness study",
+    )
+    reliability_cmd.add_argument(
+        "--seed", type=int, default=7, help="EMI seed (default: 7)"
+    )
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
@@ -243,6 +329,7 @@ def main(argv=None) -> int:
         "vcd": _cmd_vcd,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "reliability": _cmd_reliability,
     }[args.command](args)
 
 

@@ -1,4 +1,9 @@
-"""Table and figure rendering shared by the benchmark harness."""
+"""Table and figure rendering shared by the benchmark harness.
+
+:mod:`repro.analysis.reliability` (imported lazily by its consumers —
+it pulls in the scenario runner) adds the recovery-rate-vs-glitch-rate
+robustness study behind ``python -m repro reliability``.
+"""
 
 from repro.analysis.figures import ascii_chart, Series
 from repro.analysis.tables import format_table, render_check

@@ -222,6 +222,35 @@ class MemberEngine:
         return True
 
 
+    def power_loss_reset(self) -> None:
+        """Bus-domain collapse: all transaction state is lost.
+
+        The edge counters survive — they are the always-on
+        sleep-controller counters that re-synchronise a re-woken
+        controller with the protocol position (see the class note) —
+        as does the pending queue (retained layer memory), so an
+        interrupted message is retransmitted once the node re-wakes.
+        The node rides out the rest of the transaction as a passive
+        forwarder and resets normally at its end.
+        """
+        if self.role is Role.TX or self.role is Role.RX:
+            self.stats.power_loss_resets += 1
+        self.role = Role.NONE
+        self._tx_message = None
+        self._tx_stream = ()
+        self._tx_bits_driven = 0
+        self._eom_requested = False
+        self._rx_bits = []
+        self._collecting = False
+        self._matched = None
+        self._overrun = False
+        self._i_requested = False
+        self._abort = False
+        self._interject_pending_reason = None
+        self._anchor_driving = False
+        self._anchor_general = False
+        self._deferred_line_actions = []
+
     def request_interjection(self, reason: str = "third-party") -> None:
         """Ask to kill the in-flight transaction (Section 4.9).
 
@@ -620,7 +649,14 @@ class MemberEngine:
         code = self._latched_control_code()
         role = self.role
         if role is Role.TX and self._tx_message is not None:
-            success = code is ControlCode.EOM_ACK
+            # A transmitter knows whether it reached its final state:
+            # success requires both the latched EOM_ACK *and* having
+            # requested the end-of-message interjection itself.  A
+            # spurious interjection (e.g. a glitch storm saturating
+            # the detectors mid-transfer) can forge plausible control
+            # bits on the forwarding ring; without this guard the TX
+            # would silently count a truncated message as delivered.
+            success = code is ControlCode.EOM_ACK and self._eom_requested
             if success:
                 bytes_sent = self._tx_message.n_bytes
             else:
@@ -687,3 +723,4 @@ class EngineStats:
     abort_interjections: int = 0
     interjections_seen: int = 0
     transactions_observed: int = 0
+    power_loss_resets: int = 0

@@ -238,6 +238,40 @@ class MBusNode:
             return self.fast_backend.node_busy(self)
         return self.engine.busy
 
+    def power_loss(self) -> None:
+        """Brown-out: both gated domains collapse *right now*, even
+        mid-transaction (the Section 3 robustness scenario).
+
+        Unlike :meth:`sleep` this is not an application decision — it
+        models the supply failing, so it ignores ``power_gated`` and
+        busy-ness.  Transaction state in the bus domain is lost
+        (:meth:`MemberEngine.power_loss_reset`), queued messages
+        survive (they live in the layer's retained memory), and the
+        always-on wire controllers revert to forwarding so the ring
+        stays whole.  The node re-wakes through the normal four-edge
+        sequence on subsequent bus activity.
+        """
+        if self.fast_backend is not None:
+            raise ProtocolError(
+                "mid-transaction power loss is an intra-transaction event; "
+                "it requires the edge-accurate backend (mode='edge')"
+            )
+        if self.config.is_mediator:
+            raise ProtocolError(
+                "the mediator frontend must always self-start; member-node "
+                "power loss is the supported fault (Section 4.2)"
+            )
+        self.engine.power_loss_reset()
+        self.data_ctl.forward()
+        self.clk_ctl.forward()
+        self._bus_seq.disarm()
+        self._layer_seq.disarm()
+        self._null_pulse_active = False
+        if self.bus_domain.is_on:
+            self.bus_domain.power_off("fault:power-loss")
+        if self.layer_domain.is_on:
+            self.layer_domain.power_off("fault:power-loss")
+
     @property
     def is_fully_awake(self) -> bool:
         return self.bus_domain.is_on and self.layer_domain.is_on

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.addresses import Address
 from repro.core.bus import MBusSystem
 from repro.core.errors import ProtocolError
-from repro.core.messages import Message, ReceivedMessage
+from repro.core.messages import ControlCode, Message, ReceivedMessage
 
 #: The well-known resumable functional unit.
 FU_RESUMABLE = 15
@@ -161,8 +161,17 @@ class ResumableSender:
             outcome = self._outcome_for(node, message, results_before)
             if outcome is not None and outcome.success:
                 offset += len(data)
-            elif outcome is not None:
+            elif outcome is not None and outcome.control in (
+                ControlCode.EOM_ACK,
+                ControlCode.RX_ABORT,
+            ):
                 # Resume from confirmed progress within this chunk.
+                # Only these codes imply the receiver retained a
+                # prefix: an RX abort delivers the truncated fragment,
+                # and a non-success EOM_ACK is a forged/partial
+                # completion whose fragment was likewise delivered.
+                # After a NAK or general error the receiver kept
+                # nothing, so the whole chunk is resent.
                 confirmed = max(0, outcome.bytes_sent - HEADER_BYTES)
                 offset += min(confirmed, len(data))
         return stream_id

@@ -1,0 +1,98 @@
+"""Fault injection & reliability analytics.
+
+The paper's robustness claims — interjection as a universal
+error/recovery signal (4.9), tolerance of member power loss
+mid-transaction (Section 3), glitch-resilient edge semantics
+(Figure 5) — become testable here:
+
+* :mod:`repro.faults.primitives` — frozen, JSON-round-trippable
+  fault dataclasses (:class:`WireGlitch`, :class:`StuckAt`,
+  :class:`DropEdge`, :class:`BitFlip`, :class:`ClockDrift`,
+  :class:`NodePowerLoss`, seeded :class:`RandomGlitches`) grouped in
+  a :class:`FaultSpec` that compiles to a deterministic injection
+  schedule.
+* :mod:`repro.faults.injector` — binds a schedule to a built
+  edge-backend system; targeted nets are class-swapped to an
+  intercepting subclass, so fault-free runs keep the PR1 hot path
+  untouched.
+* :mod:`repro.faults.report` — :class:`ReliabilityReport`: recovery
+  rate, corrupted/lost deliveries, interjection and retransmission
+  accounting, per-fault outcome classification.
+
+Drive it through :func:`repro.scenario.run`::
+
+    from repro.faults import FaultSpec, RandomGlitches
+    from repro.scenario import run
+
+    report = run(spec, workload,
+                 faults=FaultSpec((RandomGlitches(seed=1, rate_hz=500),)))
+    print(report.reliability.summary())
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+from repro.core.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.primitives import (
+    BitFlip,
+    ClockDrift,
+    DropEdge,
+    Fault,
+    FaultSpec,
+    Injection,
+    NodePowerLoss,
+    RandomGlitches,
+    StuckAt,
+    WireGlitch,
+    fault_from_dict,
+    normalize_faults,
+)
+from repro.faults.report import (
+    FaultOutcome,
+    ReliabilityReport,
+    build_reliability_report,
+    expected_deliveries,
+)
+
+
+def load_faults(source: Union[str, Dict]) -> FaultSpec:
+    """Load a :class:`FaultSpec` from a JSON file or parsed dict.
+
+    Accepts either a bare ``FaultSpec.to_dict()`` document or a
+    scenario-style wrapper with a ``"faults"`` key holding one.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = source
+    if not isinstance(document, dict):
+        raise ConfigurationError("a faults document must be a JSON object")
+    if "faults" in document and isinstance(document["faults"], dict):
+        document = document["faults"]
+    return FaultSpec.from_dict(document)
+
+
+__all__ = [
+    "BitFlip",
+    "ClockDrift",
+    "DropEdge",
+    "Fault",
+    "FaultInjector",
+    "FaultOutcome",
+    "FaultSpec",
+    "Injection",
+    "NodePowerLoss",
+    "RandomGlitches",
+    "ReliabilityReport",
+    "StuckAt",
+    "WireGlitch",
+    "build_reliability_report",
+    "expected_deliveries",
+    "fault_from_dict",
+    "load_faults",
+    "normalize_faults",
+]

@@ -33,6 +33,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.bus import MBusSystem, TransactionResult
 from repro.core.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.primitives import FaultSpec, normalize_faults
+from repro.faults.report import ReliabilityReport, build_reliability_report
 from repro.power.energy_model import MeasuredEnergyModel
 from repro.scenario.spec import SystemSpec
 from repro.scenario.workload import (
@@ -47,14 +50,29 @@ PS_PER_S = 1_000_000_000_000
 BACKENDS = ("auto", "edge", "fast")
 
 
-def select_backend(backend: str = "auto", trace: bool = False) -> str:
-    """Resolve ``backend`` to a concrete MBusSystem mode."""
+def select_backend(
+    backend: str = "auto", trace: bool = False, faults_active: bool = False
+) -> str:
+    """Resolve ``backend`` to a concrete MBusSystem mode.
+
+    An *active* (non-empty) fault set forces the edge engine: faults
+    disturb wires and power domains, which the transaction-level fast
+    path does not model.  Requesting ``"fast"`` with active faults is
+    a hard error rather than a silent downgrade; an empty
+    :class:`FaultSpec` never constrains the choice.
+    """
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"backend must be one of {BACKENDS}, not {backend!r}"
         )
+    if faults_active and backend == "fast":
+        raise ConfigurationError(
+            "fault injection requires the edge-accurate backend: the fast "
+            "path has no wires or mid-transaction power state to disturb; "
+            "use backend='edge' or 'auto'"
+        )
     if backend == "auto":
-        return "edge" if trace else "fast"
+        return "edge" if (trace or faults_active) else "fast"
     if trace and backend == "fast":
         raise ConfigurationError(
             "tracing requires the edge backend; use backend='edge' or 'auto'"
@@ -81,6 +99,16 @@ class RunReport:
     sim_time_s: float
     wall_s: float
     events_processed: int
+    #: The workload that produced this report (when given as a
+    #: :class:`Workload`; raw event iterables are not retained), so
+    #: ``to_dict()`` output is reproducible from itself.
+    workload: Optional[Workload] = None
+    #: The fault set applied to the run (``None`` = faults never
+    #: requested; an empty spec = clean baseline of a fault study).
+    faults: Optional[FaultSpec] = None
+    #: Recovery analytics; present whenever ``faults`` was passed to
+    #: :func:`run`, even as an empty spec.
+    reliability: Optional[ReliabilityReport] = None
     #: The live system (tracer access, node inboxes); excluded from
     #: comparisons and repr.
     system: Optional[MBusSystem] = field(
@@ -189,6 +217,16 @@ class RunReport:
         return {
             "backend": self.backend,
             "spec": self.spec.to_dict(),
+            "workload": (
+                self.workload.to_dict()
+                if isinstance(self.workload, Workload)
+                else None
+            ),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "reliability": (
+                None if self.reliability is None
+                else self.reliability.to_dict()
+            ),
             "n_transactions": self.n_transactions,
             "n_ok": self.n_ok,
             "sim_time_s": self.sim_time_s,
@@ -243,6 +281,8 @@ class RunReport:
                 f"{domains['layer_on_s'] * 1e3:.3f} ms on "
                 f"({domains['layer_wakeups']:.0f} wakeups)"
             )
+        if self.reliability is not None:
+            lines.append(self.reliability.summary())
         return "\n".join(lines)
 
 
@@ -275,6 +315,7 @@ def run(
     trace: bool = False,
     timeout_s: Optional[float] = None,
     setup: Optional[Callable[[MBusSystem], Any]] = None,
+    faults=None,
 ) -> RunReport:
     """Execute ``workload`` on the system described by ``spec``.
 
@@ -283,9 +324,22 @@ def run(
     behavioural chips, layer handlers or observers that are code
     rather than data.  ``timeout_s`` bounds simulated (not wall)
     time, as in :meth:`MBusSystem.run_until_idle`.
+
+    ``faults`` — a :class:`~repro.faults.FaultSpec` (or a fault /
+    iterable of faults) injected deterministically during the run.  A
+    non-empty set forces the edge backend under ``backend="auto"``
+    and rejects an explicit ``"fast"``; any ``faults`` argument,
+    including an empty spec, attaches a
+    :class:`~repro.faults.ReliabilityReport` to the result.
     """
-    mode = select_backend(backend, trace)
+    fault_spec = normalize_faults(faults)
+    faults_active = bool(fault_spec)
+    mode = select_backend(backend, trace, faults_active=faults_active)
     system = spec.build(mode=mode, trace=trace)
+    injector = None
+    if faults_active:
+        injector = FaultInjector(system, fault_spec, spec)
+        injector.arm()
     if setup is not None:
         setup(system)
     for event in _compile(workload, spec):
@@ -295,8 +349,29 @@ def run(
         else:
             system.sim.schedule_at(at_ps, _interrupt_fn(system, event))
     start = time.perf_counter()
-    system.run_until_idle(timeout_s=timeout_s)
+    try:
+        # Under active faults a run may legitimately end with member
+        # engines desynchronised (e.g. dropped CLK edges leave them
+        # mid-control until the next transaction resyncs them); that
+        # is a *finding*, recorded as ``reliability.bus_idle``, not a
+        # simulation error.
+        system.run_until_idle(
+            timeout_s=timeout_s, require_idle=not faults_active
+        )
+    finally:
+        if injector is not None:
+            injector.finalize()
     wall_s = time.perf_counter() - start
+    reliability = None
+    if fault_spec is not None:
+        reliability = build_reliability_report(
+            spec,
+            workload,
+            fault_spec,
+            list(system.transactions),
+            injector=injector,
+            system=system,
+        )
     return RunReport(
         backend=mode,
         spec=spec,
@@ -306,6 +381,9 @@ def run(
         sim_time_s=system.sim.now / PS_PER_S,
         wall_s=wall_s,
         events_processed=system.sim.events_processed,
+        workload=workload if isinstance(workload, Workload) else None,
+        faults=fault_spec,
+        reliability=reliability,
         system=system,
     )
 
@@ -326,23 +404,33 @@ def sweep(
     trace: bool = False,
     timeout_s: Optional[float] = None,
     setup: Optional[Callable[[MBusSystem], Any]] = None,
+    faults=None,
 ) -> List[SweepPoint]:
     """Map a parameter grid over scenario runs (figure-style studies).
 
     ``grid`` maps parameter names to value lists; the cartesian
     product is enumerated in order.  Keys naming :class:`SystemSpec`
     fields (``clock_hz``, ``max_message_bytes``, ...) override the
-    spec at each point.  Any other key requires ``workload`` to be a
-    callable ``params -> Workload`` that consumes it; passing an
-    unknown key with a fixed workload is an error (it would silently
-    sweep nothing).
+    spec at each point.  Any other key requires ``workload`` or
+    ``faults`` to be a callable ``params -> ...`` factory that
+    consumes it; passing an unknown key with fixed workload *and*
+    faults is an error (it would silently sweep nothing).
+
+    ``faults`` may be a fixed fault set (applied at every point) or a
+    factory ``params -> FaultSpec`` — the hook for reliability
+    studies that grid over fault rates, e.g.::
+
+        sweep(spec, workload, {"rate_hz": [0, 100, 1000]},
+              faults=lambda p: FaultSpec(
+                  (RandomGlitches(seed=7, rate_hz=p["rate_hz"]),)))
     """
     spec_fields = set(SystemSpec._KEYS) - {"nodes"}
     non_spec = [k for k in grid if k not in spec_fields]
-    if non_spec and not callable(workload):
+    if non_spec and not callable(workload) and not callable(faults):
         raise ConfigurationError(
-            f"grid key(s) {non_spec!r} are not SystemSpec fields and the "
-            "workload is not a factory; they would have no effect"
+            f"grid key(s) {non_spec!r} are not SystemSpec fields and "
+            "neither the workload nor the faults argument is a factory; "
+            "they would have no effect"
         )
     keys = list(grid)
     points: List[SweepPoint] = []
@@ -351,6 +439,7 @@ def sweep(
         overrides = {k: v for k, v in params.items() if k in spec_fields}
         point_spec = spec.replace(**overrides) if overrides else spec
         point_workload = workload(params) if callable(workload) else workload
+        point_faults = faults(params) if callable(faults) else faults
         points.append(
             SweepPoint(
                 params=params,
@@ -361,6 +450,7 @@ def sweep(
                     trace=trace,
                     timeout_s=timeout_s,
                     setup=setup,
+                    faults=point_faults,
                 ),
             )
         )

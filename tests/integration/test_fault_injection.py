@@ -1,0 +1,382 @@
+"""End-to-end fault injection: determinism, recovery, reliability analytics.
+
+The acceptance bars for the fault subsystem:
+
+* same seed ⇒ identical ``ReliabilityReport``;
+* an empty fault set is a perfect no-op — identical transaction
+  signatures and delivery sets to a plain ``run()`` on both backends;
+* non-empty faults force the edge backend (``auto``) and reject an
+  explicit ``fast``;
+* each primitive produces its paper-grounded failure mode and the bus
+  always recovers (idle again, or recorded as desynchronised).
+"""
+
+import pytest
+
+from repro.core import Address, MBusSystem
+from repro.core.errors import ConfigurationError, ProtocolError
+from repro.core.resumable import ResumableReceiver, ResumableSender
+from repro.faults import (
+    BitFlip,
+    ClockDrift,
+    DropEdge,
+    FaultInjector,
+    FaultSpec,
+    NodePowerLoss,
+    RandomGlitches,
+    StuckAt,
+    WireGlitch,
+)
+from repro.scenario import Burst, NodeSpec, OneShot, SystemSpec, run, sweep
+
+PAYLOAD = bytes(range(8))
+
+
+def three_node_spec(**overrides) -> SystemSpec:
+    return SystemSpec(
+        name="faults-int",
+        clock_hz=400_000.0,
+        nodes=(
+            NodeSpec("m", short_prefix=0x1, is_mediator=True),
+            NodeSpec("a", short_prefix=0x2),
+            NodeSpec("b", short_prefix=0x3),
+        ),
+        **overrides,
+    )
+
+
+def one_shot(source="m", prefix=0x2, at_s=0.0):
+    return OneShot(source, Address.short(prefix, 5), PAYLOAD, at_s=at_s)
+
+
+class TestBackendSelection:
+    def test_auto_forces_edge_under_faults(self):
+        report = run(
+            three_node_spec(),
+            one_shot(),
+            faults=FaultSpec((ClockDrift("m", ppm=10.0),)),
+        )
+        assert report.backend == "edge"
+
+    def test_explicit_fast_with_faults_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="edge-accurate"):
+            run(
+                three_node_spec(),
+                one_shot(),
+                backend="fast",
+                faults=FaultSpec((ClockDrift("m", ppm=10.0),)),
+            )
+
+    def test_empty_fault_set_keeps_fast_auto_selection(self):
+        report = run(three_node_spec(), one_shot(), faults=FaultSpec())
+        assert report.backend == "fast"
+        assert report.reliability is not None
+        assert report.reliability.recovery_rate == 1.0
+
+    def test_direct_injector_rejects_fast_system(self):
+        spec = three_node_spec()
+        system = spec.build(mode="fast")
+        with pytest.raises(ConfigurationError, match="edge-accurate"):
+            FaultInjector(system, FaultSpec((ClockDrift("m", ppm=1.0),)), spec)
+
+
+class TestNoOpEquivalence:
+    """An empty fault set must not perturb either backend."""
+
+    @pytest.mark.parametrize("backend", ["edge", "fast"])
+    def test_empty_faults_identical_to_plain_run(self, backend):
+        spec = three_node_spec()
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=4)
+        plain = run(spec, workload, backend=backend)
+        faulted = run(spec, workload, backend=backend, faults=FaultSpec())
+        assert (
+            plain.transaction_signatures() == faulted.transaction_signatures()
+        )
+        assert plain.delivery_set() == faulted.delivery_set()
+        assert plain.events_processed == faulted.events_processed
+
+    def test_empty_fault_reports_agree_across_backends(self):
+        spec = three_node_spec()
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=4)
+        edge = run(spec, workload, backend="edge", faults=FaultSpec())
+        fast = run(spec, workload, backend="fast", faults=FaultSpec())
+        assert edge.reliability == fast.reliability
+
+
+class TestDeterminism:
+    def test_same_seed_identical_reliability_report(self):
+        spec = three_node_spec()
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=4)
+        faults = FaultSpec(
+            (RandomGlitches(seed=3, rate_hz=8_000.0, duration_s=0.002),)
+        )
+        one = run(spec, workload, faults=faults)
+        two = run(spec, workload, faults=faults)
+        assert one.reliability == two.reliability
+        assert one.reliability.to_dict() == two.reliability.to_dict()
+        assert (
+            one.transaction_signatures() == two.transaction_signatures()
+        )
+
+    def test_different_seed_changes_the_schedule(self):
+        spec = three_node_spec()
+        a = FaultSpec((RandomGlitches(seed=1, rate_hz=8_000.0),)).compile(spec)
+        b = FaultSpec((RandomGlitches(seed=2, rate_hz=8_000.0),)).compile(spec)
+        assert a != b
+
+
+class TestPrimitiveOutcomes:
+    def test_bit_flip_corrupts_but_transaction_completes(self):
+        # 100 us lands mid-payload of an 8-byte message at 400 kHz.
+        report = run(
+            three_node_spec(),
+            one_shot(),
+            faults=FaultSpec((BitFlip("m", at_s=100e-6, duration_s=5e-6),)),
+        )
+        rel = report.reliability
+        assert rel.corrupted_deliveries == 1
+        assert rel.intact_deliveries == 0
+        assert rel.outcomes[0].classification == "corrupted"
+        delivered = report.deliveries[0][1]
+        assert delivered != PAYLOAD and len(delivered) == len(PAYLOAD)
+
+    def test_glitch_storm_kills_transfer_and_bus_recovers(self):
+        """>= threshold spurious DATA toggles mid-transfer saturate the
+        interjection detectors; the transfer dies, the mediator's
+        machinery cleans up, and a queued message still goes out."""
+        spec = three_node_spec()
+        workload = one_shot() + OneShot(
+            "m", Address.short(0x3, 5), PAYLOAD, at_s=0.025
+        )
+        report = run(
+            spec,
+            workload,
+            faults=FaultSpec(
+                (WireGlitch("a", at_s=100e-6, edges=7, width_s=100e-9),)
+            ),
+        )
+        rel = report.reliability
+        assert rel.failed_transactions >= 1
+        assert rel.outcomes[0].classification == "killed"
+        # The later message is untouched: the bus recovered.
+        assert ("b", PAYLOAD) in [
+            (name, payload) for name, payload in report.deliveries
+        ]
+        assert rel.bus_idle
+
+    def test_stuck_data_window_disturbs_then_releases(self):
+        spec = three_node_spec()
+        workload = one_shot() + OneShot(
+            "m", Address.short(0x3, 5), PAYLOAD, at_s=0.025
+        )
+        report = run(
+            spec,
+            workload,
+            faults=FaultSpec(
+                (StuckAt("m", at_s=80e-6, duration_s=40e-6, value=0),)
+            ),
+        )
+        rel = report.reliability
+        assert rel.intact_deliveries < rel.expected_deliveries
+        # After release the wire follows its driver again.
+        assert ("b", PAYLOAD) in report.deliveries
+
+    def test_dropped_clk_edges_recorded_as_desync(self):
+        report = run(
+            three_node_spec(),
+            one_shot(),
+            faults=FaultSpec(
+                (DropEdge("m", at_s=100e-6, count=2, wire="clk"),)
+            ),
+        )
+        rel = report.reliability
+        assert rel.edges_dropped == 2
+        assert rel.lost_deliveries == 1
+        assert not rel.bus_idle   # members resync on the next transaction
+
+    def test_small_clock_drift_is_tolerated(self):
+        """Source-synchronous edges absorb oscillator skew: ±2000 ppm
+        changes nothing at message granularity."""
+        faults = FaultSpec(
+            (ClockDrift("m", ppm=2_000.0), ClockDrift("a", ppm=-2_000.0))
+        )
+        report = run(three_node_spec(), one_shot(), faults=faults)
+        rel = report.reliability
+        assert rel.recovery_rate == 1.0
+        assert [o.classification for o in rel.outcomes] == [
+            "ambient", "ambient"
+        ]
+
+    def test_rx_power_loss_kills_delivery(self):
+        report = run(
+            three_node_spec(),
+            one_shot(),
+            faults=FaultSpec((NodePowerLoss("a", at_s=100e-6),)),
+        )
+        rel = report.reliability
+        assert rel.failed_transactions == 1
+        assert rel.intact_deliveries == 0
+        assert rel.outcomes[0].classification == "killed"
+
+    def test_tx_power_loss_retransmits_after_restore(self):
+        """The queued message survives the brown-out (retained layer
+        memory) and is retransmitted once the node re-wakes — the
+        Section 3 'cannot enter a locked-up state' scenario."""
+        report = run(
+            three_node_spec(),
+            one_shot(source="b", prefix=0x2),
+            faults=FaultSpec(
+                (NodePowerLoss("b", at_s=150e-6, duration_s=300e-6),)
+            ),
+        )
+        rel = report.reliability
+        assert rel.failed_transactions >= 1
+        assert rel.intact_deliveries == rel.expected_deliveries == 1
+        assert rel.bus_idle
+
+    def test_idle_glitch_causes_spurious_wakeup(self):
+        """A falling edge on an idle DATA ring self-starts the mediator
+        with no requester: a null transaction / general error."""
+        report = run(
+            three_node_spec(),
+            one_shot(),
+            faults=FaultSpec(
+                (WireGlitch("a", at_s=0.02, edges=1),)
+            ),
+        )
+        rel = report.reliability
+        assert rel.general_errors == 1
+        assert rel.outcomes[0].classification == "spurious_wakeup"
+        assert rel.intact_deliveries == 1   # the real message was earlier
+
+    def test_power_loss_requires_edge_backend_and_member_node(self):
+        spec = three_node_spec()
+        fast = spec.build(mode="fast")
+        with pytest.raises(ProtocolError, match="edge"):
+            fast.node("a").power_loss()
+        edge = spec.build(mode="edge")
+        with pytest.raises(ProtocolError, match="mediator"):
+            edge.node("m").power_loss()
+
+
+class TestNetRestoration:
+    def test_faulted_nets_restored_after_run(self):
+        """finalize() must undo the class swap so a report's retained
+        system keeps simulating on the plain hot path."""
+        from repro.sim.signals import Net
+
+        report = run(
+            three_node_spec(),
+            one_shot(),
+            faults=FaultSpec(
+                (StuckAt("m", at_s=80e-6, duration_s=40e-6, value=0),)
+            ),
+        )
+        system = report.system
+        for node in system.nodes:
+            assert type(node.dout) is Net
+            assert type(node.clkout) is Net
+        # The retained system still runs clean traffic.
+        result = system.send("m", Address.short(0x3, 5), PAYLOAD)
+        assert result.ok
+
+
+class TestReportSerialization:
+    def test_run_report_records_workload_and_faults(self):
+        """Satellite: a report dict is reproducible from itself —
+        spec, workload (with its seed) and faults all round-trip."""
+        from repro.faults import load_faults
+        from repro.scenario import workload_from_dict
+
+        spec = three_node_spec()
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=2)
+        faults = FaultSpec((RandomGlitches(seed=42, rate_hz=1_000.0),))
+        report = run(spec, workload, faults=faults)
+        document = report.to_dict()
+        assert SystemSpec.from_dict(document["spec"]) == spec
+        assert workload_from_dict(document["workload"]) == workload
+        assert load_faults(document["faults"]) == faults
+        assert document["workload"]["kind"] == "burst"
+        assert document["faults"]["faults"][0]["seed"] == 42
+        assert (
+            document["reliability"]["recovery_rate"]
+            == report.reliability.recovery_rate
+        )
+
+    def test_plain_run_serializes_workload_without_faults(self):
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=2)
+        document = run(three_node_spec(), workload).to_dict()
+        assert document["workload"]["count"] == 2
+        assert document["faults"] is None
+        assert document["reliability"] is None
+
+
+class TestFaultSweep:
+    def test_grid_over_fault_rates(self):
+        spec = three_node_spec()
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=4)
+        points = sweep(
+            spec,
+            workload,
+            grid={"rate_hz": [0.0, 8_000.0]},
+            faults=lambda p: FaultSpec(
+                (RandomGlitches(seed=5, rate_hz=p["rate_hz"],
+                                duration_s=0.001),)
+            ),
+        )
+        assert len(points) == 2
+        clean, noisy = points
+        assert clean.report.reliability.recovery_rate == 1.0
+        assert clean.report.reliability.performed_injections == 0
+        assert noisy.report.reliability.performed_injections > 0
+
+    def test_unknown_key_without_any_factory_is_an_error(self):
+        spec = three_node_spec()
+        workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=1)
+        with pytest.raises(ConfigurationError, match="factory"):
+            sweep(
+                spec,
+                workload,
+                grid={"rate_hz": [1.0]},
+                faults=FaultSpec(),
+            )
+
+
+class TestResumableRecovery:
+    def test_interjection_storm_recovered_by_resumable_transfer(self):
+        """Satellite: an injected fault triggers interjection-based
+        recovery on a resumable stream (Sections 4.9 + 7): the killed
+        chunk is resent from the conservative progress estimate and
+        the receiver reassembles the full payload."""
+        spec = SystemSpec(
+            name="resumable-faults",
+            clock_hz=400_000.0,
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0x2, rx_buffer_bytes=4096),
+                NodeSpec("b", short_prefix=0x3, rx_buffer_bytes=4096),
+            ),
+        )
+        system = spec.build(mode="edge")
+        receiver = ResumableReceiver(system.node("a"))
+        sender = ResumableSender(system, "b")
+        # A detector-saturating storm on the transmitter's output,
+        # landing mid-payload of the first chunk.
+        storm = FaultSpec(
+            (WireGlitch("b", at_s=600e-6, edges=8, width_s=100e-9),)
+        )
+        injector = FaultInjector(system, storm, spec)
+        injector.arm()
+        payload = bytes(range(256)) * 2          # 512 B, several chunks
+        outcomes_before = len(system.node("b").results)
+        stream_id = sender.send(0x2, payload, chunk_bytes=132)
+        injector.finalize()
+        assert receiver.finish(stream_id) == payload
+        outcomes = system.node("b").results[outcomes_before:]
+        assert any(not o.success for o in outcomes), (
+            "the storm must have killed at least one chunk"
+        )
+        assert len(outcomes) > 4                  # 4 clean chunks + retries
+        detector = system.node("a").detector
+        assert detector.detections > 0
+        assert system.is_idle

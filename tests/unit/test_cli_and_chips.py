@@ -43,6 +43,62 @@ class TestCli:
         assert main(["vcd", path]) == 0
         assert "$enddefinitions" in open(path).read()
 
+    def test_run_with_output_file(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "report.json")
+        assert main([
+            "run", "examples/scenarios/fig14_burst.json",
+            "--backend", "fast", "--output", out,
+        ]) == 0
+        document = json.load(open(out))
+        assert document["backend"] == "fast"
+        assert document["n_ok"] == 6
+        assert document["workload"]["kind"] == "burst"
+        assert "wrote report" in capsys.readouterr().out
+
+    def test_run_with_faults_forces_edge_and_reports_reliability(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps({
+            "name": "drift",
+            "faults": [{"kind": "clock_drift", "node": "m", "ppm": 100.0}],
+        }))
+        out = str(tmp_path / "report.json")
+        assert main([
+            "run", "examples/scenarios/fig14_burst.json",
+            "--faults", str(faults), "--output", out,
+        ]) == 0
+        document = json.load(open(out))
+        assert document["backend"] == "edge"
+        assert document["faults"]["name"] == "drift"
+        assert document["reliability"]["recovery_rate"] == 1.0
+
+    def test_sweep_with_jsonl_output(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "points.jsonl")
+        assert main([
+            "sweep", "examples/scenarios/fig14_burst.json",
+            "--backend", "fast", "--output", out,
+        ]) == 0
+        lines = [
+            json.loads(line)
+            for line in open(out).read().splitlines() if line
+        ]
+        assert len(lines) == 4          # the fig14 clock_hz grid
+        assert all("params" in line and "report" in line for line in lines)
+        assert "4 sweep points" in capsys.readouterr().out
+
+    def test_reliability_command(self, capsys):
+        assert main(["reliability"]) == 0
+        out = capsys.readouterr().out
+        assert "Recovery rate vs. glitch rate" in out
+        assert "recovery rate" in out
+
 
 class TestProcessorSpec:
     def test_relay_energy_is_1nj(self):

@@ -1,0 +1,103 @@
+"""InterjectionDetector edge cases (Section 4.9's saturating counter).
+
+Complements the basic coverage in ``test_controllers.py`` with the
+corner cases the fault subsystem leans on: exact-threshold
+saturation, re-arm semantics across CLK polarity, threshold-1
+degenerate detectors, and the detector's behaviour under glitch-like
+sub-threshold noise.
+"""
+
+import pytest
+
+from repro.core.interjection import InterjectionDetector
+from repro.sim.scheduler import Simulator
+from repro.sim.signals import Net
+
+
+def make_detector(threshold=3):
+    sim = Simulator()
+    data = Net(sim, "data")
+    clk = Net(sim, "clk")
+    fired = []
+    detector = InterjectionDetector(
+        data, clk, threshold=threshold, on_detect=lambda: fired.append(sim.now)
+    )
+    return sim, data, clk, detector, fired
+
+
+def toggle(net, n):
+    for _ in range(n):
+        net.set(net.value ^ 1)
+
+
+class TestSaturation:
+    def test_fires_exactly_at_threshold(self):
+        _, data, _, detector, fired = make_detector(threshold=3)
+        toggle(data, 2)
+        assert fired == [] and detector.count == 2 and not detector.detected
+        toggle(data, 1)
+        assert len(fired) == 1 and detector.detected
+
+    def test_count_saturates_instead_of_wrapping(self):
+        _, data, _, detector, fired = make_detector(threshold=3)
+        toggle(data, 50)
+        assert detector.count == 3          # clamped at the threshold
+        assert detector.detections == 1     # one detection, no refire
+        assert len(fired) == 1
+
+    def test_threshold_one_fires_on_any_data_edge(self):
+        _, data, clk, detector, fired = make_detector(threshold=1)
+        toggle(data, 1)
+        assert len(fired) == 1
+        toggle(data, 3)                     # saturated: no refire
+        assert len(fired) == 1
+        toggle(clk, 1)                      # reset + re-arm
+        toggle(data, 1)
+        assert len(fired) == 2
+
+    def test_sub_threshold_noise_never_fires(self):
+        """A glitch shorter than the threshold between two CLK edges is
+        exactly the noise the counter is designed to ignore."""
+        _, data, clk, detector, fired = make_detector(threshold=3)
+        for _ in range(10):
+            toggle(data, 2)                 # 2 < 3: never saturates
+            toggle(clk, 1)                  # bus clock edge resets
+        assert fired == []
+        assert detector.detections == 0
+
+
+class TestReset:
+    @pytest.mark.parametrize("initial_clk", [0, 1])
+    def test_both_clk_polarities_reset(self, initial_clk):
+        sim = Simulator()
+        data = Net(sim, "data")
+        clk = Net(sim, "clk", initial=initial_clk)
+        detector = InterjectionDetector(data, clk, threshold=3)
+        toggle(data, 2)
+        clk.set(clk.value ^ 1)              # rising or falling: both reset
+        assert detector.count == 0
+
+    def test_reset_rearms_after_detection(self):
+        _, data, clk, detector, fired = make_detector(threshold=2)
+        toggle(data, 2)
+        assert detector.detected and len(fired) == 1
+        toggle(clk, 1)
+        assert not detector.detected and detector.count == 0
+        toggle(data, 2)
+        assert len(fired) == 2 and detector.detections == 2
+
+    def test_partial_count_discarded_by_reset(self):
+        """Counts never accumulate across CLK edges: 2+2 toggles in
+        adjacent half-cycles stay below a threshold of 3."""
+        _, data, clk, detector, fired = make_detector(threshold=3)
+        toggle(data, 2)
+        toggle(clk, 1)
+        toggle(data, 2)
+        assert fired == [] and detector.count == 2
+
+    def test_detected_property_clears_on_clk(self):
+        _, data, clk, detector, _ = make_detector(threshold=2)
+        toggle(data, 2)
+        assert detector.detected
+        toggle(clk, 1)
+        assert not detector.detected
