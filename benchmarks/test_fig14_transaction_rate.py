@@ -76,6 +76,55 @@ def test_fig14_burst_saturation_on_edge_sim(benchmark, report, burst_runner):
     assert 0.5 * model < achieved <= ceiling
 
 
+def test_fig14_payload_clock_grid_as_campaign(report, burst_runner):
+    """The Figure 14 grid — payload length x clock speed — as a
+    campaign: the figure's series become ResultSet queries, and the
+    simulated rates must track the 19 + 8n closed form.
+    """
+    from repro.campaign import Campaign, Grid
+    from repro.core import Address
+    from repro.scenario import Burst
+
+    spec = burst_runner["spec"]()
+    results = Campaign(
+        spec,
+        lambda p: Burst(
+            "m",
+            Address.short(0x2, 5),
+            bytes(range(256))[: p["payload_bytes"]],
+            count=6,
+        ),
+        grid=(
+            Grid.product(payload_bytes=[2, 8, 32])
+            * Grid.product(clock_hz=[100e3, 400e3])
+        ),
+        backend="fast",
+        name="fig14-grid",
+    ).run()
+    assert len(results) == 6
+
+    report(results.to_table(columns=[
+        ("bytes", "payload_bytes"),
+        ("clock", "clock_hz"),
+        ("txn/s", "report.throughput_tps"),
+    ], title="Figure 14 grid (campaign over the fast backend)"))
+
+    for clock_hz, group in results.group_by("clock_hz").items():
+        series = group.series("payload_bytes", "report.throughput_tps")
+        rates = [rate for _, rate in series]
+        # Rate falls with payload length at every clock...
+        assert rates == sorted(rates, reverse=True), clock_hz
+        # ...and stays within the saturated closed form's ceiling.
+        for payload_bytes, rate in series:
+            model = transaction_rate_hz(clock_hz, payload_bytes)
+            assert 0.5 * model < rate <= 1.5 * model
+    # Linear in clock at fixed length, on the simulator too.
+    by_clock = results.filter(payload_bytes=8).aggregate(
+        "report.throughput_tps", agg="mean", by=("clock_hz",)
+    )
+    assert by_clock[400e3] == pytest.approx(4 * by_clock[100e3], rel=0.05)
+
+
 def test_fig14_same_workload_on_both_backends(report, burst_runner):
     """One Burst workload object, both simulation engines.
 

@@ -10,7 +10,8 @@ mid-transaction (Section 3), glitch-resilient edge semantics
    ReliabilityReport — the 100%-recovery control row);
 2. a bit-flip window corrupting a payload in flight;
 3. a mid-transaction receiver power loss, recovered by NAK;
-4. seeded random EMI swept over glitch rates (the robustness curve);
+4. seeded random EMI gridded over glitch rates with a
+   :class:`repro.campaign.Campaign` (the robustness curve);
 5. the JSON forms used by ``python -m repro run --faults ...``.
 
 Run:  python examples/fault_injection.py
@@ -26,7 +27,8 @@ from repro.faults import (
     RandomGlitches,
     load_faults,
 )
-from repro.scenario import Burst, NodeSpec, OneShot, SystemSpec, run, sweep
+from repro.campaign import Campaign, Grid
+from repro.scenario import Burst, NodeSpec, OneShot, SystemSpec, run
 
 
 def build_spec() -> SystemSpec:
@@ -76,25 +78,26 @@ def receiver_brownout(spec: SystemSpec) -> None:
     print()
 
 
-def emi_sweep(spec: SystemSpec) -> None:
-    print("=== 4. recovery rate vs. glitch rate ===")
+def emi_campaign(spec: SystemSpec) -> None:
+    print("=== 4. recovery rate vs. glitch rate (as a campaign) ===")
     workload = Burst("cpu", Address.short(0x2, 5), bytes(range(8)), count=6)
-    points = sweep(
+    results = Campaign(
         spec,
         workload,
-        grid={"rate_hz": [0.0, 2_000.0, 8_000.0]},
+        grid=Grid.product(rate_hz=[0.0, 2_000.0, 8_000.0]),
         faults=lambda p: FaultSpec(
             (RandomGlitches(seed=11, rate_hz=p["rate_hz"],
                             duration_s=0.0015, edges=1),)
         ),
-    )
-    for point in points:
-        rel = point.report.reliability
+        name="emi-demo",
+    ).run()
+    for result in results:
+        rel = result.reliability
         print(
-            f"  rate {point.params['rate_hz']:>7,.0f}/s: "
-            f"recovery {rel.recovery_rate:6.1%}, "
-            f"{rel.failed_transactions}/{rel.n_transactions} txns failed, "
-            f"{rel.retransmissions} retransmissions"
+            f"  rate {result.params['rate_hz']:>7,.0f}/s: "
+            f"recovery {rel['recovery_rate']:6.1%}, "
+            f"{rel['failed_transactions']}/{rel['n_transactions']} "
+            f"txns failed, {rel['retransmissions']} retransmissions"
         )
     print()
 
@@ -120,7 +123,7 @@ def main() -> None:
     clean_baseline(spec)
     corrupted_payload(spec)
     receiver_brownout(spec)
-    emi_sweep(spec)
+    emi_campaign(spec)
     json_round_trip()
 
 

@@ -9,7 +9,9 @@ transaction-level fast path.  This example:
 
 1. builds a spec and round-trips it through JSON;
 2. runs one workload on BOTH backends and shows the results agree;
-3. sweeps clock rate over a Figure 14-style saturating burst;
+3. runs a clock-rate Campaign over a Figure 14-style saturating
+   burst and queries the ResultSet (see examples/campaign_study.py
+   for caching and parallel execution);
 4. shows the scenario-file form used by ``python -m repro run/sweep``
    (see examples/scenarios/fig14_burst.json).
 
@@ -19,6 +21,7 @@ Run:  python examples/scenario_sweep.py
 import json
 
 from repro import Address
+from repro.campaign import Campaign, Grid
 from repro.scenario import (
     Burst,
     Interrupt,
@@ -27,7 +30,6 @@ from repro.scenario import (
     RandomTraffic,
     SystemSpec,
     run,
-    sweep,
 )
 
 
@@ -71,20 +73,23 @@ def both_backends(spec: SystemSpec) -> None:
     print("  transaction streams and delivery sets: identical")
 
 
-def clock_sweep(spec: SystemSpec) -> None:
-    print("\n=== 3. Figure 14-style sweep (saturating 8-byte burst) ===")
+def clock_campaign(spec: SystemSpec) -> None:
+    print("\n=== 3. Figure 14-style campaign (saturating 8-byte burst) ===")
     workload = Burst("cpu", Address.short(0x4, 5), bytes(range(8)), count=8)
-    points = sweep(
+    results = Campaign(
         spec,
         workload,
-        {"clock_hz": [100e3, 400e3, 1e6, 7.1e6]},
+        grid=Grid.product(clock_hz=[100e3, 400e3, 1e6, 7.1e6]),
         backend="fast",
-    )
+        name="fig14-clock-sweep",
+    ).run()
     print("      clock    txn/s    kbit/s")
-    for point in points:
-        report = point.report
-        print(f"  {point.params['clock_hz'] / 1e3:>7.0f}k  "
-              f"{report.throughput_tps:>8,.0f}  {report.goodput_bps / 1e3:>8.1f}")
+    for clock_hz, tps in results.series("clock_hz", "report.throughput_tps"):
+        kbps = results.filter(clock_hz=clock_hz).aggregate(
+            lambda r: r.report["goodput_bps"] / 1e3, agg="mean"
+        )
+        print(f"  {clock_hz / 1e3:>7.0f}k  {tps:>8,.0f}  {kbps:>8.1f}")
+    print(f"  ({results.summary()})")
 
 
 def scenario_file_form(spec: SystemSpec) -> None:
@@ -105,7 +110,7 @@ def main() -> None:
     spec = build_spec()
     json_round_trip(spec)
     both_backends(spec)
-    clock_sweep(spec)
+    clock_campaign(spec)
     scenario_file_form(spec)
 
 

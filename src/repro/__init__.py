@@ -10,10 +10,21 @@ throughput analysis (:mod:`repro.timing`), synthesis area estimation
 (:mod:`repro.systems`), a declarative scenario API
 (:mod:`repro.scenario`) — JSON-round-trippable topology specs,
 composable workloads, and a backend-agnostic runner with structured
-reports and parameter sweeps — and a deterministic fault-injection
-and reliability subsystem (:mod:`repro.faults`) exercising the
-paper's robustness claims.
+reports — a deterministic fault-injection and reliability subsystem
+(:mod:`repro.faults`) exercising the paper's robustness claims, and
+a campaign layer (:mod:`repro.campaign`) that turns every parameter
+study into content-addressed trials with pluggable serial/process
+executors, an on-disk resumable result cache, and queryable result
+sets.
 """
+
+from repro.campaign import (
+    Campaign,
+    Grid,
+    ResultSet,
+    ResultStore,
+    load_campaign,
+)
 
 from repro.core import (
     Address,
@@ -62,6 +73,11 @@ __all__ = [
     "Message",
     "TransactionModel",
     "TransactionResult",
+    "Campaign",
+    "Grid",
+    "ResultSet",
+    "ResultStore",
+    "load_campaign",
     "BitFlip",
     "ClockDrift",
     "DropEdge",

@@ -20,14 +20,24 @@ Commands
 ``sweep SCENARIO.json [--backend ...] [--faults FAULTS.json] [--json] [--output PATH]``
     Map the scenario's parameter grid over runs (figure-style study).
     ``--output`` writes one JSON line per sweep point (JSONL).
+    Implemented as a serial, uncached campaign; prefer ``campaign``.
+``campaign run CAMPAIGN.json [--store DIR] [--executor serial|process] [--workers N]``
+    Execute a campaign document: compile its grid to trials, serve
+    unchanged trials from the content-addressed store, execute the
+    rest (optionally process-parallel), and report the ResultSet.
+``campaign status CAMPAIGN.json [--store DIR]``
+    Report how many of the campaign's trials the store already holds.
+``campaign results CAMPAIGN.json [--store DIR] [--where k=v ...]``
+    Query stored results without executing anything.
 ``reliability``
     Run the recovery-rate-vs-glitch-rate robustness study and print
     the figure.
 
 Scenario documents are JSON files with ``system`` / ``workload``
 (and, for ``sweep``, a ``sweep`` grid) keys; fault documents hold a
-``FaultSpec.to_dict()`` object — see :mod:`repro.scenario`,
-:mod:`repro.faults` and EXPERIMENTS.md.
+``FaultSpec.to_dict()`` object; campaign documents add ``grid`` /
+``faults`` / ``backend`` keys — see :mod:`repro.scenario`,
+:mod:`repro.faults`, :mod:`repro.campaign` and EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -183,7 +193,9 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.scenario import load_scenario, sweep
+    from repro.campaign import Campaign
+    from repro.scenario import load_scenario
+    from repro.scenario.runner import SweepPoint
 
     spec, workload, grid = load_scenario(args.scenario)
     faults = _load_cli_faults(args)
@@ -191,7 +203,15 @@ def _cmd_sweep(args) -> int:
         print(f"error: {args.scenario} has no 'sweep' grid; use 'run' "
               "for a single execution", file=sys.stderr)
         return 2
-    points = sweep(spec, workload, grid, backend=args.backend, faults=faults)
+    # The old serial in-memory sweep, expressed as a campaign (see
+    # the `campaign` command for the cached / parallel form).
+    results = Campaign(
+        spec=spec, workload=workload, grid=grid, faults=faults,
+        backend=args.backend,
+    ).run(executor="serial", resume=False, dedupe=False, keep_reports=True)
+    points = [
+        SweepPoint(params=dict(r.params), report=r.live) for r in results
+    ]
     if not points:
         print(f"error: the sweep grid in {args.scenario} enumerates no "
               "points (a parameter has an empty value list)",
@@ -233,10 +253,117 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_where(pairs):
+    import json as json_module
+
+    where = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"error: --where expects key=value, got {pair!r}")
+        try:
+            where[key] = json_module.loads(raw)
+        except json_module.JSONDecodeError:
+            where[key] = raw
+    return where
+
+
+def _campaign_result_document(campaign, results, store) -> dict:
+    return {
+        "name": campaign.name,
+        "executor": results.executor,
+        "n_trials": len(results),
+        "executed": results.executed,
+        "cached": results.cached,
+        "cache_hit_rate": results.cache_hit_rate,
+        "wall_s": results.wall_s,
+        "store": None if store is None else str(store),
+        "results": results.records(),
+    }
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import load_campaign
+
+    campaign = load_campaign(args.campaign)
+    results = campaign.run(
+        executor=args.executor,
+        workers=args.workers,
+        store=args.store,
+        resume=not args.no_resume,
+    )
+    if args.output:
+        results.to_jsonl(args.output)
+        print(f"wrote {len(results)} result records to {args.output}")
+    if args.json:
+        print(json.dumps(
+            _campaign_result_document(campaign, results, args.store),
+            indent=2,
+        ))
+    elif not args.output:
+        print(results.summary())
+        print()
+        print(results.to_table())
+    return 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaign import load_campaign
+
+    status = load_campaign(args.campaign).status(args.store)
+    if args.json:
+        print(json.dumps(status.to_dict(), indent=2))
+    else:
+        print(status.summary())
+    return 0
+
+
+def _cmd_campaign_results(args) -> int:
+    from repro.campaign import ResultSet, ResultStore, TrialResult, load_campaign
+
+    campaign = load_campaign(args.campaign)
+    store = ResultStore(args.store)
+    stored = [
+        TrialResult(trial=trial, record=record, cached=True)
+        for trial in campaign.trials()
+        for record in (store.get(trial.key),)
+        if record is not None
+    ]
+    results = ResultSet(stored, executor="store", name=campaign.name)
+    where = _parse_where(args.where)
+    if where:
+        results = results.filter(**where)
+    if not stored:
+        print(f"no stored results for this campaign in {args.store}",
+              file=sys.stderr)
+        return 1
+    if args.output:
+        results.to_jsonl(args.output)
+        print(f"wrote {len(results)} result records to {args.output}")
+    if args.json:
+        print(json.dumps(results.records(), indent=2))
+    elif not args.output:
+        print(results.to_table())
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    return {
+        "run": _cmd_campaign_run,
+        "status": _cmd_campaign_status,
+        "results": _cmd_campaign_results,
+    }[args.campaign_command](args)
+
+
 def _cmd_reliability(args) -> int:
     from repro.analysis.reliability import recovery_vs_glitch_rate
 
-    rows = recovery_vs_glitch_rate(seed=args.seed)
+    rows = recovery_vs_glitch_rate(
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        store=args.store,
+    )
     print(format_table(
         ["glitch/s", "recovery", "intact", "corrupt", "lost", "failed txns",
          "interject"],
@@ -313,12 +440,85 @@ def main(argv=None) -> int:
             help="write results to a file (run: JSON report; sweep: one "
                  "JSON line per point)",
         )
+    campaign_cmd = sub.add_parser(
+        "campaign",
+        help="compile, execute and query cached experiment campaigns",
+    )
+    campaign_sub = campaign_cmd.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a campaign document (cached, resumable)"
+    )
+    campaign_status = campaign_sub.add_parser(
+        "status", help="report cache coverage for a campaign"
+    )
+    campaign_results = campaign_sub.add_parser(
+        "results", help="query stored results without executing"
+    )
+    for command in (campaign_run, campaign_status, campaign_results):
+        command.add_argument(
+            "campaign", help="path to a campaign JSON document"
+        )
+        command.add_argument(
+            "--store",
+            metavar="DIR",
+            help="ResultStore directory (content-addressed trial cache); "
+                 "omitted = in-memory scratch store",
+        )
+        command.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+    campaign_run.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="trial executor (default: serial)",
+    )
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --executor process",
+    )
+    campaign_run.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-execute every trial even when the store has it",
+    )
+    campaign_results.add_argument(
+        "--where",
+        action="append",
+        metavar="KEY=VALUE",
+        help="filter rows by parameter equality (repeatable; value "
+             "parsed as JSON, falling back to string)",
+    )
+    for command in (campaign_run, campaign_results):
+        command.add_argument(
+            "--output",
+            metavar="PATH",
+            help="write one canonical record per line (JSONL)",
+        )
     reliability_cmd = sub.add_parser(
         "reliability",
         help="run the recovery-vs-glitch-rate robustness study",
     )
     reliability_cmd.add_argument(
         "--seed", type=int, default=7, help="EMI seed (default: 7)"
+    )
+    reliability_cmd.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="campaign executor for the study (default: serial)",
+    )
+    reliability_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for --executor process",
+    )
+    reliability_cmd.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="ResultStore directory to memoise the study's trials",
     )
     args = parser.parse_args(argv)
     return {
@@ -329,6 +529,7 @@ def main(argv=None) -> int:
         "vcd": _cmd_vcd,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "campaign": _cmd_campaign,
         "reliability": _cmd_reliability,
     }[args.command](args)
 

@@ -9,6 +9,14 @@ reproducible curve: seeded random single-edge glitches are swept over
 a rate grid while a fixed burst workload runs, and each point reports
 the fraction of intended deliveries that arrived intact.
 
+Since PR 5 the study is a :class:`repro.campaign.Campaign`
+(:func:`recovery_campaign`): points execute through any campaign
+executor (``serial`` or ``process``), memoise into a
+:class:`~repro.campaign.store.ResultStore` when one is given, and the
+figure is a query over the returned
+:class:`~repro.campaign.resultset.ResultSet` rather than a loop over
+live reports.
+
 Expected shape (asserted by ``benchmarks/test_reliability.py``):
 
 * zero fault rate ⇒ perfect recovery (the clean baseline);
@@ -23,12 +31,28 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.campaign import Campaign, Grid
 from repro.core.addresses import Address
 from repro.faults import FaultSpec, RandomGlitches
-from repro.scenario import Burst, NodeSpec, SystemSpec, sweep
+from repro.scenario import Burst, NodeSpec, SystemSpec
 
 #: Default glitch-rate grid (events per second of simulated time).
 DEFAULT_RATES = (0.0, 1_000.0, 4_000.0, 16_000.0)
+
+#: ResultSet row fields surfaced by :func:`recovery_vs_glitch_rate`,
+#: all drawn from the stored reliability document.
+_RELIABILITY_FIELDS = (
+    "recovery_rate",
+    "expected_deliveries",
+    "intact_deliveries",
+    "corrupted_deliveries",
+    "lost_deliveries",
+    "failed_transactions",
+    "general_errors",
+    "interjections",
+    "n_transactions",
+    "edges_injected",
+)
 
 
 def reliability_spec() -> SystemSpec:
@@ -80,41 +104,51 @@ def glitch_faults(
     )
 
 
+def recovery_campaign(
+    rates: Iterable[float] = DEFAULT_RATES,
+    seed: int = 7,
+    n_messages: int = 8,
+    spec: Optional[SystemSpec] = None,
+    workload=None,
+) -> Campaign:
+    """The robustness figure as a campaign: one trial per glitch rate."""
+    return Campaign(
+        spec=spec or reliability_spec(),
+        workload=workload or reliability_workload(n_messages),
+        grid=Grid.product(glitch_rate_hz=list(rates)),
+        faults=lambda params: glitch_faults(params["glitch_rate_hz"], seed),
+        backend="auto",
+        name="recovery-vs-glitch-rate",
+    )
+
+
 def recovery_vs_glitch_rate(
     rates: Iterable[float] = DEFAULT_RATES,
     seed: int = 7,
     n_messages: int = 8,
     spec: Optional[SystemSpec] = None,
     workload=None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    store=None,
 ) -> List[Dict]:
-    """One row per glitch rate: the data behind the robustness figure."""
-    spec = spec or reliability_spec()
-    workload = workload or reliability_workload(n_messages)
-    points = sweep(
-        spec,
-        workload,
-        grid={"glitch_rate_hz": list(rates)},
-        faults=lambda params: glitch_faults(params["glitch_rate_hz"], seed),
-        backend="auto",
-    )
+    """One row per glitch rate: the data behind the robustness figure.
+
+    ``executor`` / ``workers`` / ``store`` pass straight through to
+    :meth:`Campaign.run`, so the same figure can run process-parallel
+    and be served from an on-disk cache on re-runs.
+    """
+    results = recovery_campaign(
+        rates, seed, n_messages, spec, workload
+    ).run(executor=executor, workers=workers, store=store)
     rows = []
-    for point in points:
-        reliability = point.report.reliability
-        rows.append(
-            {
-                "glitch_rate_hz": point.params["glitch_rate_hz"],
-                "recovery_rate": reliability.recovery_rate,
-                "expected_deliveries": reliability.expected_deliveries,
-                "intact_deliveries": reliability.intact_deliveries,
-                "corrupted_deliveries": reliability.corrupted_deliveries,
-                "lost_deliveries": reliability.lost_deliveries,
-                "failed_transactions": reliability.failed_transactions,
-                "general_errors": reliability.general_errors,
-                "interjections": reliability.interjections,
-                "n_transactions": reliability.n_transactions,
-                "edges_injected": reliability.edges_injected,
-            }
+    for result in results:
+        reliability = result.reliability
+        row = {"glitch_rate_hz": result.params["glitch_rate_hz"]}
+        row.update(
+            (name, reliability[name]) for name in _RELIABILITY_FIELDS
         )
+        rows.append(row)
     return rows
 
 

@@ -1,0 +1,81 @@
+"""Campaign API: parallel, cached, resumable experiment execution.
+
+The experiment layer the paper's figures actually need: every
+parameter study — transaction rate vs. message length, goodput vs.
+node count, recovery vs. glitch rate — is a :class:`Campaign`:
+
+* a base :class:`~repro.scenario.spec.SystemSpec`,
+* a workload (fixed or ``params -> Workload`` factory),
+* an optional fault set (fixed or factory),
+* and a :class:`Grid` of parameter axes (product / zip / chain /
+  cross),
+
+which **compiles** to an explicit list of content-addressed
+:class:`Trial` documents, **executes** through a pluggable executor
+(``"serial"`` or ``"process"`` via ``concurrent.futures``),
+**memoises** every trial in an append-only, resumable
+:class:`ResultStore` (key = SHA-256 of the trial documents), and
+returns a queryable :class:`ResultSet`::
+
+    from repro.campaign import Campaign, Grid
+
+    rs = Campaign(
+        spec, workload,
+        grid=Grid.product(clock_hz=[100e3, 400e3, 1e6]),
+        name="fig14",
+    ).run(executor="process", workers=4, store="out/fig14")
+
+    rs.series("clock_hz", "report.goodput_bps")   # figure = query
+    rs.to_table()                                  # or a table
+    rs.summary()                                   # cache accounting
+
+Re-running the same campaign against the same store executes nothing:
+every trial is served from cache.  Interrupt it halfway and only the
+missing trials run next time.  ``python -m repro campaign
+run/status/results`` exposes the same machinery over JSON campaign
+documents (see EXPERIMENTS.md).
+
+The legacy :func:`repro.scenario.runner.sweep` survives as a
+deprecated shim over a serial campaign.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.campaign import (
+    Campaign,
+    CampaignStatus,
+    EXECUTORS,
+    load_campaign,
+)
+from repro.campaign.grid import GRID_KINDS, Grid, as_grid
+from repro.campaign.resultset import AGGREGATIONS, ResultSet, TrialResult
+from repro.campaign.store import RESULTS_FILENAME, ResultStore
+from repro.campaign.trial import (
+    Trial,
+    canonical_json,
+    derive_trial_seed,
+    execute_trial,
+    run_trial_document,
+    trial_record,
+)
+
+__all__ = [
+    "AGGREGATIONS",
+    "Campaign",
+    "CampaignStatus",
+    "EXECUTORS",
+    "GRID_KINDS",
+    "Grid",
+    "RESULTS_FILENAME",
+    "ResultSet",
+    "ResultStore",
+    "Trial",
+    "TrialResult",
+    "as_grid",
+    "canonical_json",
+    "derive_trial_seed",
+    "execute_trial",
+    "load_campaign",
+    "run_trial_document",
+    "trial_record",
+]

@@ -1,0 +1,490 @@
+"""The Campaign: a declarative, executable experiment study.
+
+A :class:`Campaign` binds together everything one parameter study
+needs — a base :class:`~repro.scenario.spec.SystemSpec`, a workload
+(fixed :class:`~repro.scenario.workload.Workload` or a factory
+``params -> Workload``), an optional fault set (fixed or factory),
+and a :class:`~repro.campaign.grid.Grid` of parameter points — and
+compiles it to an explicit list of content-addressed
+:class:`~repro.campaign.trial.Trial` documents.
+
+Grid axes are consumed, per point, in this order:
+
+1. axes naming :class:`SystemSpec` fields (``clock_hz``,
+   ``max_message_bytes``, ...) override the spec;
+2. dotted axes patch the compiled documents in place:
+   ``workload.<path>``, ``faults.<path>`` and ``system.<path>``
+   (integer segments index lists, e.g.
+   ``faults.faults.0.rate_hz``);
+3. every axis is passed to callable workload/fault factories via the
+   point's ``params`` dict;
+4. a non-dotted, non-spec axis with *neither* factory present is a
+   compile error — it would sweep nothing.
+
+With ``seed=`` set, each point's params also gain a ``trial_seed``
+(a pure function of campaign seed and point — see
+:func:`~repro.campaign.trial.derive_trial_seed`), so randomised
+workloads stay execution-order independent.
+
+Execution (:meth:`Campaign.run`) is memoised through a
+:class:`~repro.campaign.store.ResultStore` and pluggable:
+
+* ``executor="serial"`` — in-process, in trial order; the only
+  executor that can keep live reports (``keep_reports=True``) or
+  carry code (``setup=`` hooks, ``trace=True`` — both bypass the
+  store, because code is invisible to a content hash);
+* ``executor="process"`` — a ``concurrent.futures``
+  ``ProcessPoolExecutor``; trials cross the boundary as JSON
+  documents and records come back, so results are identical to
+  serial execution byte for byte.
+
+Future sharded/async backends plug in at the same seam: a list of
+:class:`Trial` documents in, records keyed by content hash out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.campaign.grid import Grid, GridLike, as_grid
+from repro.campaign.resultset import ResultSet, TrialResult
+from repro.campaign.store import ResultStore
+from repro.campaign.trial import (
+    Trial,
+    derive_trial_seed,
+    execute_trial,
+    patch_document,
+    run_trial_document,
+)
+from repro.core.errors import ConfigurationError
+from repro.faults.primitives import FaultSpec, normalize_faults
+from repro.scenario.runner import BACKENDS
+from repro.scenario.spec import SystemSpec
+from repro.scenario.workload import Workload, workload_from_dict
+
+EXECUTORS = ("serial", "process")
+
+StoreLike = Union[ResultStore, str, None]
+
+
+def _as_store(store: StoreLike) -> ResultStore:
+    if store is None:
+        return ResultStore.memory()
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+@dataclass
+class Campaign:
+    """A declarative experiment study over a parameter grid."""
+
+    spec: SystemSpec
+    workload: Union[Workload, Callable[[Dict[str, Any]], Workload]]
+    grid: Optional[GridLike] = None
+    faults: Any = None
+    backend: str = "auto"
+    name: str = ""
+    timeout_s: Optional[float] = None
+    #: When set, injects a deterministic ``trial_seed`` into every
+    #: point's params (for factories building seeded workloads).
+    seed: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Compilation.
+    # ------------------------------------------------------------------
+    def _workload_is_factory(self) -> bool:
+        return callable(self.workload) and not isinstance(
+            self.workload, Workload
+        )
+
+    def _faults_is_factory(self) -> bool:
+        return callable(self.faults) and not isinstance(
+            self.faults, (FaultSpec,)
+        )
+
+    def trials(self) -> List[Trial]:
+        """Compile the campaign to its explicit, ordered trial list."""
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, not {self.backend!r}"
+            )
+        grid = None if self.grid is None else as_grid(self.grid)
+        points = [{}] if grid is None else grid.points()
+        spec_fields = set(SystemSpec._KEYS) - {"nodes"}
+        workload_factory = self._workload_is_factory()
+        faults_factory = self._faults_is_factory()
+        if not workload_factory and not isinstance(self.workload, Workload):
+            raise ConfigurationError(
+                "a campaign workload must be a Workload or a factory "
+                f"params -> Workload, got {self.workload!r}"
+            )
+        trials: List[Trial] = []
+        for index, point in enumerate(points):
+            params = dict(point)
+            if self.seed is not None:
+                params["trial_seed"] = derive_trial_seed(self.seed, point)
+            overrides = {
+                k: v for k, v in params.items() if k in spec_fields
+            }
+            point_spec = (
+                self.spec.replace(**overrides) if overrides else self.spec
+            )
+            point_spec.validate()
+            spec_doc = point_spec.to_dict()
+
+            workload = (
+                self.workload(params) if workload_factory else self.workload
+            )
+            if not isinstance(workload, Workload):
+                raise ConfigurationError(
+                    "the workload factory must return a Workload, got "
+                    f"{workload!r} for params {params!r}"
+                )
+            workload_doc = workload.to_dict()
+
+            point_faults = (
+                self.faults(params)
+                if faults_factory
+                else normalize_faults(self.faults)
+            )
+            if point_faults is not None and not isinstance(
+                point_faults, FaultSpec
+            ):
+                point_faults = normalize_faults(point_faults)
+            faults_doc = (
+                None if point_faults is None else point_faults.to_dict()
+            )
+
+            patched_spec = False
+            consumed = set(overrides)
+            for key, value in params.items():
+                root, dot, rest = key.partition(".")
+                if not dot:
+                    continue
+                if root == "workload":
+                    patch_document(workload_doc, rest, value, "workload")
+                elif root == "faults":
+                    if faults_doc is None:
+                        raise ConfigurationError(
+                            f"grid axis {key!r} patches the faults "
+                            "document, but the campaign has no faults"
+                        )
+                    patch_document(faults_doc, rest, value, "faults")
+                elif root == "system":
+                    patch_document(spec_doc, rest, value, "system")
+                    patched_spec = True
+                else:
+                    raise ConfigurationError(
+                        f"dotted grid axis {key!r} must start with "
+                        "'workload.', 'faults.' or 'system.'"
+                    )
+                consumed.add(key)
+            if patched_spec:
+                SystemSpec.from_dict(spec_doc).validate()
+
+            leftover = [
+                k
+                for k in params
+                if k not in consumed and k != "trial_seed"
+            ]
+            if leftover and not workload_factory and not faults_factory:
+                raise ConfigurationError(
+                    f"grid key(s) {leftover!r} are not SystemSpec fields "
+                    "or document patches, and neither the workload nor "
+                    "the faults argument is a factory; they would have "
+                    "no effect"
+                )
+
+            trials.append(
+                Trial(
+                    index=index,
+                    params=params,
+                    spec_doc=spec_doc,
+                    workload_doc=workload_doc,
+                    faults_doc=faults_doc,
+                    backend=self.backend,
+                    timeout_s=self.timeout_s,
+                )
+            )
+        return trials
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        store: StoreLike = None,
+        resume: bool = True,
+        keep_reports: bool = False,
+        setup: Optional[Callable] = None,
+        trace: bool = False,
+        order: Optional[Sequence[int]] = None,
+        dedupe: bool = True,
+    ) -> ResultSet:
+        """Execute the campaign and return its :class:`ResultSet`.
+
+        ``store`` — a :class:`ResultStore`, a directory path, or
+        ``None`` for an in-memory scratch store.  ``resume=True``
+        serves any trial whose key is already stored from cache.
+
+        ``order`` — an optional permutation of trial indices fixing
+        *execution* order (results always come back in trial order);
+        the sharding hook, and the lever the determinism tests use.
+
+        ``setup`` / ``trace`` carry code or need the live system, so
+        they are serial-only and bypass the store entirely (a content
+        hash cannot see a closure).  ``keep_reports=True`` (serial
+        only) attaches each executed trial's live
+        :class:`RunReport` as ``result.live``.
+
+        ``dedupe=False`` re-executes trials whose documents are
+        identical instead of aliasing them to one execution.
+        """
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTORS}, not {executor!r}"
+            )
+        code_bearing = setup is not None or trace
+        if code_bearing and executor != "serial":
+            raise ConfigurationError(
+                "setup hooks and tracing are code, not data: they "
+                "cannot cross process boundaries or be content-hashed; "
+                "use executor='serial'"
+            )
+        if keep_reports and executor != "serial":
+            raise ConfigurationError(
+                "keep_reports needs the serial executor: live reports "
+                "hold the simulator, which cannot cross processes"
+            )
+        start = time.perf_counter()
+        trials = self.trials()
+        if code_bearing:
+            live_store = ResultStore.memory()
+            resume = False
+        else:
+            live_store = _as_store(store)
+
+        exec_order = list(range(len(trials)))
+        if order is not None:
+            order = list(order)
+            if sorted(order) != exec_order:
+                raise ConfigurationError(
+                    "order must be a permutation of the trial indices "
+                    f"0..{len(trials) - 1}"
+                )
+            exec_order = order
+
+        results: Dict[int, TrialResult] = {}
+        pending: List[Trial] = []
+        for index in exec_order:
+            trial = trials[index]
+            if resume:
+                record = live_store.get(trial.key)
+                if record is not None:
+                    results[index] = TrialResult(
+                        trial=trial, record=record, cached=True
+                    )
+                    continue
+            pending.append(trial)
+
+        # Within one run, identical documents mean identical results:
+        # execute the first occurrence, alias the rest (unless the
+        # caller asked for brute-force re-execution).
+        to_execute: List[Trial] = []
+        aliases: List[Trial] = []
+        if dedupe:
+            seen: Dict[str, Trial] = {}
+            for trial in pending:
+                if trial.key in seen:
+                    aliases.append(trial)
+                else:
+                    seen[trial.key] = trial
+                    to_execute.append(trial)
+        else:
+            to_execute = pending
+
+        fresh: Dict[str, Dict] = {}
+        if executor == "serial":
+            for trial in to_execute:
+                record, wall_s, report = execute_trial(
+                    trial, setup=setup, trace=trace
+                )
+                live_store.put(record)
+                fresh[trial.key] = record
+                results[trial.index] = TrialResult(
+                    trial=trial,
+                    record=record,
+                    cached=False,
+                    wall_s=wall_s,
+                    live=report if keep_reports else None,
+                )
+        elif to_execute:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_trial_document, trial.to_dict()): trial
+                    for trial in to_execute
+                }
+                for future in as_completed(futures):
+                    index, record, wall_s = future.result()
+                    live_store.put(record)
+                    fresh[record["key"]] = record
+                    results[index] = TrialResult(
+                        trial=trials[index],
+                        record=record,
+                        cached=False,
+                        wall_s=wall_s,
+                    )
+        for trial in aliases:
+            results[trial.index] = TrialResult(
+                trial=trial, record=fresh[trial.key], cached=True
+            )
+
+        return ResultSet(
+            [results[index] for index in range(len(trials))],
+            executor=executor,
+            wall_s=time.perf_counter() - start,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Status.
+    # ------------------------------------------------------------------
+    def status(self, store: StoreLike) -> "CampaignStatus":
+        """How much of this campaign the store already holds."""
+        live_store = _as_store(store)
+        trials = self.trials()
+        cached = sum(1 for trial in trials if trial.key in live_store)
+        return CampaignStatus(
+            name=self.name,
+            n_trials=len(trials),
+            cached=cached,
+            store_path=(
+                None if live_store.path is None else str(live_store.path)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (data campaigns only — factories are code).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        if self._workload_is_factory() or self._faults_is_factory():
+            raise ConfigurationError(
+                "a campaign with workload/fault factories is code, not "
+                "data; express the variation as grid document patches "
+                "(workload.*, faults.*) to serialise it"
+            )
+        faults = normalize_faults(self.faults)
+        return {
+            "name": self.name,
+            "system": self.spec.to_dict(),
+            "workload": self.workload.to_dict(),
+            "faults": None if faults is None else faults.to_dict(),
+            "grid": (
+                None if self.grid is None else as_grid(self.grid).to_dict()
+            ),
+            "backend": self.backend,
+            "timeout_s": self.timeout_s,
+            "seed": self.seed,
+        }
+
+    _KEYS = frozenset({
+        "name", "system", "workload", "faults", "grid", "backend",
+        "timeout_s", "seed",
+    })
+
+    @classmethod
+    def from_dict(cls, data: Dict, lenient: bool = False) -> "Campaign":
+        if lenient:
+            data = {k: v for k, v in data.items() if k in cls._KEYS}
+        else:
+            unknown = set(data) - cls._KEYS
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown Campaign key(s): {', '.join(sorted(unknown))}"
+                )
+        for required in ("system", "workload"):
+            if required not in data:
+                raise ConfigurationError(
+                    f"a campaign document needs a {required!r} key"
+                )
+        faults_doc = data.get("faults")
+        grid_doc = data.get("grid")
+        return cls(
+            spec=SystemSpec.from_dict(data["system"], lenient=lenient),
+            workload=workload_from_dict(data["workload"], lenient=lenient),
+            faults=(
+                None
+                if faults_doc is None
+                else FaultSpec.from_dict(faults_doc, lenient=lenient)
+            ),
+            grid=None if grid_doc is None else as_grid(grid_doc),
+            backend=data.get("backend", "auto"),
+            name=data.get("name", ""),
+            timeout_s=data.get("timeout_s"),
+            seed=data.get("seed"),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Cache coverage of a campaign against one store."""
+
+    name: str
+    n_trials: int
+    cached: int
+    store_path: Optional[str] = None
+
+    @property
+    def pending(self) -> int:
+        return self.n_trials - self.cached
+
+    @property
+    def complete(self) -> bool:
+        return self.cached == self.n_trials
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "n_trials": self.n_trials,
+            "cached": self.cached,
+            "pending": self.pending,
+            "complete": self.complete,
+            "store": self.store_path,
+        }
+
+    def summary(self) -> str:
+        label = self.name or "campaign"
+        where = f" in {self.store_path}" if self.store_path else ""
+        return (
+            f"{label}: {self.cached}/{self.n_trials} trial(s) cached"
+            f"{where}, {self.pending} pending"
+        )
+
+
+def load_campaign(
+    source: Union[str, Dict], lenient: bool = False
+) -> Campaign:
+    """Load a :class:`Campaign` from a JSON file or parsed dict."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = source
+    if not isinstance(document, dict):
+        raise ConfigurationError("a campaign document must be a JSON object")
+    return Campaign.from_dict(document, lenient=lenient)

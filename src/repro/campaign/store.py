@@ -1,0 +1,152 @@
+"""Content-addressed, append-only result memoisation.
+
+A :class:`ResultStore` maps trial keys (SHA-256 of the canonical
+trial documents — see :attr:`repro.campaign.trial.Trial.key`) to
+executed records.  The on-disk form is one directory holding a single
+``results.jsonl``: one canonical-JSON record per line, append-only.
+
+Properties the campaign layer leans on:
+
+* **resumable** — a killed campaign leaves every completed trial on
+  disk; reopening the store and re-running the campaign executes only
+  the missing trials.  A write interrupted mid-line leaves a partial
+  tail with no newline; :meth:`_load` rolls the file back to the last
+  complete line before appending anything new, so one torn record
+  never poisons the log.
+* **append-only** — records are never rewritten in place.  Re-putting
+  an identical record is a no-op; a *different* record under an
+  existing key (e.g. after a schema bump) is appended and wins on
+  reload (last write wins), preserving full history in the log.
+* **byte-deterministic** — records are serialised with
+  :func:`~repro.campaign.trial.canonical_json`, so the same trial
+  always produces the same bytes, regardless of executor, process or
+  execution order (asserted by ``tests/integration/test_campaign.py``).
+* **schema-tolerant** — readers keep whole records as plain JSON and
+  ignore keys they do not understand; records stamped with a newer
+  ``schema_version`` still load (the ``lenient`` loaders reconstruct
+  objects from their documents by dropping unknown fields).
+
+``ResultStore.memory()`` gives the same interface with no filesystem
+behind it — the default scratch cache for one-off campaign runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.campaign.trial import canonical_json
+from repro.core.errors import ConfigurationError
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+class ResultStore:
+    """Key -> record memoisation, optionally JSONL-backed on disk."""
+
+    def __init__(self, path: Union[str, Path, None]):
+        self._path: Optional[Path] = None if path is None else Path(path)
+        self._records: Dict[str, Dict] = {}
+        self._lines: Dict[str, str] = {}
+        self._order: List[str] = []
+        if self._path is not None:
+            self._path.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    @classmethod
+    def memory(cls) -> "ResultStore":
+        """A purely in-process store (no persistence)."""
+        return cls(None)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    @property
+    def results_path(self) -> Optional[Path]:
+        if self._path is None:
+            return None
+        return self._path / RESULTS_FILENAME
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> List[str]:
+        """Stored keys, in first-seen order."""
+        return list(self._order)
+
+    def records(self) -> Iterator[Dict]:
+        """Stored records, in first-seen key order."""
+        for key in self._order:
+            yield self._records[key]
+
+    def entries(self) -> List[str]:
+        """The canonical record lines (the exact persisted bytes,
+        minus newlines) — the byte-identity test surface."""
+        return [self._lines[key] for key in self._order]
+
+    def get(self, key: str) -> Optional[Dict]:
+        return self._records.get(key)
+
+    # -- mutation ----------------------------------------------------------
+    def put(self, record: Dict) -> bool:
+        """Memoise ``record``; returns True if anything was written.
+
+        Identical re-puts are no-ops.  A changed record under an
+        existing key is appended (the log keeps history; the index
+        takes the newest).
+        """
+        key = record.get("key")
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError(
+                "a store record needs a non-empty string 'key'"
+            )
+        line = canonical_json(record)
+        if self._lines.get(key) == line:
+            return False
+        if key not in self._records:
+            self._order.append(key)
+        self._records[key] = json.loads(line)
+        self._lines[key] = line
+        if self._path is not None:
+            with open(self.results_path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return True
+
+    # -- loading -----------------------------------------------------------
+    def _load(self) -> None:
+        path = self.results_path
+        if not path.exists():
+            return
+        raw = path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            # A torn append (killed mid-write): roll back to the last
+            # complete line so subsequent appends start clean.
+            keep = raw.rfind(b"\n") + 1
+            path.write_bytes(raw[:keep])
+            raw = raw[:keep]
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A corrupt interior line loses one record, never the
+                # store: skip it rather than refuse to open.
+                continue
+            key = record.get("key") if isinstance(record, dict) else None
+            if not isinstance(key, str) or not key:
+                continue
+            if key not in self._records:
+                self._order.append(key)
+            self._records[key] = record
+            self._lines[key] = line

@@ -1,0 +1,16 @@
+"""Versioning for serialised experiment documents.
+
+``REPORT_SCHEMA_VERSION`` stamps every persisted report document —
+:meth:`repro.scenario.runner.RunReport.to_dict`,
+:meth:`repro.faults.report.ReliabilityReport.to_dict` and the
+content-addressed records in :class:`repro.campaign.ResultStore` — so
+cached results written today remain identifiable (and loadable, via
+the ``lenient`` mode of the ``from_dict``-style loaders) after the
+schema grows new fields.
+
+Bump the version when a field changes *meaning*; adding fields does
+not require a bump, because loaders tolerate unknown keys in lenient
+mode and queries address fields by name.
+"""
+
+REPORT_SCHEMA_VERSION = 1

@@ -29,6 +29,7 @@ node or the mediator's arbitration break absorbs them.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
@@ -471,16 +472,17 @@ class FaultSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict) -> "FaultSpec":
+    def from_dict(cls, data: Dict, lenient: bool = False) -> "FaultSpec":
         unknown = set(data) - {"name", "faults"}
-        if unknown:
+        if unknown and not lenient:
             raise ConfigurationError(
                 f"unknown FaultSpec key(s): {', '.join(sorted(unknown))}"
             )
         return cls(
             name=data.get("name", ""),
             faults=tuple(
-                fault_from_dict(item) for item in data.get("faults", ())
+                fault_from_dict(item, lenient=lenient)
+                for item in data.get("faults", ())
             ),
         )
 
@@ -494,8 +496,12 @@ _FAULT_KINDS: Dict[str, type] = {
 }
 
 
-def fault_from_dict(data: Dict) -> Fault:
-    """Rebuild a fault primitive from :meth:`Fault.to_dict` output."""
+def fault_from_dict(data: Dict, lenient: bool = False) -> Fault:
+    """Rebuild a fault primitive from :meth:`Fault.to_dict` output.
+
+    ``lenient=True`` drops unknown parameters (future schema growth);
+    an unknown *kind* always fails — there is nothing to fall back to.
+    """
     data = dict(data)
     kind = data.pop("kind", None)
     cls = _FAULT_KINDS.get(kind)
@@ -504,6 +510,9 @@ def fault_from_dict(data: Dict) -> Fault:
             f"unknown fault kind {kind!r}; expected one of "
             f"{sorted(_FAULT_KINDS)}"
         )
+    if lenient:
+        known = {f.name for f in dataclasses.fields(cls)}
+        data = {k: v for k, v in data.items() if k in known}
     if "nodes" in data and data["nodes"] is not None:
         data["nodes"] = tuple(data["nodes"])
     try:

@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.schema import REPORT_SCHEMA_VERSION
 from repro.faults.primitives import PS_PER_S, FaultSpec
 
 #: Outcome classifications, roughly ordered by severity.
@@ -108,6 +109,7 @@ class ReliabilityReport:
 
     def to_dict(self) -> Dict:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "n_faults": self.n_faults,
             "scheduled_injections": self.scheduled_injections,
             "performed_injections": self.performed_injections,

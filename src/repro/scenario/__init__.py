@@ -13,7 +13,9 @@ instead of a script:
   backend dependence.
 * :mod:`repro.scenario.runner` — :func:`run` executes a (spec,
   workload) pair on either simulation engine and returns a
-  :class:`RunReport`; :func:`sweep` maps parameter grids over runs.
+  :class:`RunReport`.  Parameter studies live in
+  :mod:`repro.campaign`; the old :func:`sweep` remains as a
+  deprecated shim over a serial campaign.
 
 A complete scenario fits in one JSON document (see
 :func:`load_scenario` and ``python -m repro run`` / ``sweep``)::

@@ -17,22 +17,23 @@ Backend selection (``backend=``)
   ``tests/integration/test_scenario_runner.py``), so ``auto`` only
   ever changes speed, not answers.
 
-:func:`sweep` maps a parameter grid over runs: grid keys naming
-:class:`SystemSpec` fields override the spec per point, and a callable
-workload factory receives the point's parameters — enough to
-re-create the paper's figure-style studies as data.
+Parameter studies live in :mod:`repro.campaign` (grids, pluggable
+executors, content-addressed caching, queryable results); the old
+:func:`sweep` remains as a deprecated shim over a serial
+:class:`~repro.campaign.Campaign`.
 """
 
 from __future__ import annotations
 
 import functools
-import itertools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.bus import MBusSystem, TransactionResult
 from repro.core.errors import ConfigurationError
+from repro.core.schema import REPORT_SCHEMA_VERSION
 from repro.faults.injector import FaultInjector
 from repro.faults.primitives import FaultSpec, normalize_faults
 from repro.faults.report import ReliabilityReport, build_reliability_report
@@ -215,6 +216,7 @@ class RunReport:
         energy_pj = self.energy_pj()
         bits = self.delivered_payload_bits
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "backend": self.backend,
             "spec": self.spec.to_dict(),
             "workload": (
@@ -406,52 +408,46 @@ def sweep(
     setup: Optional[Callable[[MBusSystem], Any]] = None,
     faults=None,
 ) -> List[SweepPoint]:
-    """Map a parameter grid over scenario runs (figure-style studies).
+    """Deprecated: use :class:`repro.campaign.Campaign`.
 
-    ``grid`` maps parameter names to value lists; the cartesian
-    product is enumerated in order.  Keys naming :class:`SystemSpec`
-    fields (``clock_hz``, ``max_message_bytes``, ...) override the
-    spec at each point.  Any other key requires ``workload`` or
-    ``faults`` to be a callable ``params -> ...`` factory that
-    consumes it; passing an unknown key with fixed workload *and*
-    faults is an error (it would silently sweep nothing).
+    Kept as a thin shim that compiles the same (spec, workload,
+    grid, faults) study into a :class:`Campaign` and runs it with
+    the serial executor, uncached and with live reports — exactly
+    the old serial in-memory loop, point for point.  The campaign
+    API adds what this never had: process-parallel execution,
+    content-addressed on-disk memoisation, resume after
+    interruption, and a queryable
+    :class:`~repro.campaign.resultset.ResultSet`::
 
-    ``faults`` may be a fixed fault set (applied at every point) or a
-    factory ``params -> FaultSpec`` — the hook for reliability
-    studies that grid over fault rates, e.g.::
-
-        sweep(spec, workload, {"rate_hz": [0, 100, 1000]},
-              faults=lambda p: FaultSpec(
-                  (RandomGlitches(seed=7, rate_hz=p["rate_hz"]),)))
+        Campaign(spec, workload, grid=grid, faults=faults).run(
+            executor="process", store="out/study")
     """
-    spec_fields = set(SystemSpec._KEYS) - {"nodes"}
-    non_spec = [k for k in grid if k not in spec_fields]
-    if non_spec and not callable(workload) and not callable(faults):
-        raise ConfigurationError(
-            f"grid key(s) {non_spec!r} are not SystemSpec fields and "
-            "neither the workload nor the faults argument is a factory; "
-            "they would have no effect"
-        )
-    keys = list(grid)
-    points: List[SweepPoint] = []
-    for values in itertools.product(*(list(grid[k]) for k in keys)):
-        params = dict(zip(keys, values))
-        overrides = {k: v for k, v in params.items() if k in spec_fields}
-        point_spec = spec.replace(**overrides) if overrides else spec
-        point_workload = workload(params) if callable(workload) else workload
-        point_faults = faults(params) if callable(faults) else faults
-        points.append(
-            SweepPoint(
-                params=params,
-                report=run(
-                    point_spec,
-                    point_workload,
-                    backend=backend,
-                    trace=trace,
-                    timeout_s=timeout_s,
-                    setup=setup,
-                    faults=point_faults,
-                ),
-            )
-        )
-    return points
+    warnings.warn(
+        "repro.scenario.sweep() is deprecated; use "
+        "repro.campaign.Campaign (serial executor = old behaviour, "
+        "plus process pools, on-disk caching and resume)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.campaign import Campaign
+
+    results = Campaign(
+        spec=spec,
+        workload=workload,
+        grid=grid,
+        faults=faults,
+        backend=backend,
+        timeout_s=timeout_s,
+    ).run(
+        executor="serial",
+        store=None,
+        resume=False,
+        dedupe=False,
+        keep_reports=True,
+        setup=setup,
+        trace=trace,
+    )
+    return [
+        SweepPoint(params=dict(result.params), report=result.live)
+        for result in results
+    ]

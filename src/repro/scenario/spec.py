@@ -34,12 +34,23 @@ from repro.core.bus import MBusSystem
 from repro.core.errors import ConfigurationError
 
 
-def _require_keys(data: dict, allowed: frozenset, what: str) -> None:
+def _take_keys(
+    data: dict, allowed: frozenset, what: str, lenient: bool
+) -> dict:
+    """Strict mode rejects unknown keys; lenient mode drops them.
+
+    Lenient loading is how cached documents written by a *newer*
+    schema (extra fields) remain readable — see
+    :mod:`repro.core.schema`.
+    """
     unknown = set(data) - allowed
-    if unknown:
-        raise ConfigurationError(
-            f"unknown {what} key(s): {', '.join(sorted(unknown))}"
-        )
+    if not unknown:
+        return dict(data)
+    if lenient:
+        return {k: v for k, v in data.items() if k in allowed}
+    raise ConfigurationError(
+        f"unknown {what} key(s): {', '.join(sorted(unknown))}"
+    )
 
 
 @dataclass(frozen=True)
@@ -90,11 +101,10 @@ class NodeSpec:
     })
 
     @classmethod
-    def from_dict(cls, data: Dict) -> "NodeSpec":
-        _require_keys(data, cls._KEYS, "NodeSpec")
-        if "name" not in data:
+    def from_dict(cls, data: Dict, lenient: bool = False) -> "NodeSpec":
+        kwargs = _take_keys(data, cls._KEYS, "NodeSpec", lenient)
+        if "name" not in kwargs:
             raise ConfigurationError("NodeSpec requires a 'name'")
-        kwargs = dict(data)
         if "broadcast_channels" in kwargs:
             kwargs["broadcast_channels"] = frozenset(
                 kwargs["broadcast_channels"]
@@ -242,11 +252,11 @@ class SystemSpec:
     })
 
     @classmethod
-    def from_dict(cls, data: Dict) -> "SystemSpec":
-        _require_keys(data, cls._KEYS, "SystemSpec")
-        kwargs = dict(data)
+    def from_dict(cls, data: Dict, lenient: bool = False) -> "SystemSpec":
+        kwargs = _take_keys(data, cls._KEYS, "SystemSpec", lenient)
         kwargs["nodes"] = tuple(
-            NodeSpec.from_dict(node) for node in kwargs.get("nodes", ())
+            NodeSpec.from_dict(node, lenient=lenient)
+            for node in kwargs.get("nodes", ())
         )
         return cls(**kwargs)
 

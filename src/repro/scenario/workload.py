@@ -32,6 +32,7 @@ traffic — can live in one JSON document.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
@@ -359,8 +360,14 @@ _WORKLOAD_KINDS: Dict[str, type] = {
 }
 
 
-def workload_from_dict(data: Dict) -> Workload:
-    """Rebuild a workload from :meth:`Workload.to_dict` output."""
+def workload_from_dict(data: Dict, lenient: bool = False) -> Workload:
+    """Rebuild a workload from :meth:`Workload.to_dict` output.
+
+    ``lenient=True`` drops unknown parameters instead of failing, so
+    documents written by a future schema (extra fields) still load —
+    an unknown *kind* is always an error, because there is nothing to
+    fall back to.
+    """
     data = dict(data)
     kind = data.pop("kind", None)
     cls = _WORKLOAD_KINDS.get(kind)
@@ -369,9 +376,15 @@ def workload_from_dict(data: Dict) -> Workload:
             f"unknown workload kind {kind!r}; expected one of "
             f"{sorted(_WORKLOAD_KINDS)}"
         )
+    if lenient:
+        known = {f.name for f in dataclasses.fields(cls)}
+        data = {k: v for k, v in data.items() if k in known}
     if cls is Combined:
         return Combined(
-            parts=tuple(workload_from_dict(part) for part in data["parts"])
+            parts=tuple(
+                workload_from_dict(part, lenient=lenient)
+                for part in data["parts"]
+            )
         )
     if "dest" in data:
         data["dest"] = _address_from_dict(data["dest"])
@@ -379,4 +392,9 @@ def workload_from_dict(data: Dict) -> Workload:
         data["payload"] = bytes.fromhex(data["payload"])
     if "sources" in data and data["sources"] is not None:
         data["sources"] = tuple(data["sources"])
-    return cls(**data)
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad {kind} workload parameters: {exc}"
+        ) from None

@@ -27,7 +27,7 @@ from repro.faults import (
     StuckAt,
     WireGlitch,
 )
-from repro.scenario import Burst, NodeSpec, OneShot, SystemSpec, run, sweep
+from repro.scenario import Burst, NodeSpec, OneShot, SystemSpec, run
 
 PAYLOAD = bytes(range(8))
 
@@ -311,11 +311,13 @@ class TestReportSerialization:
         assert document["reliability"] is None
 
 
-class TestFaultSweep:
+class TestFaultCampaign:
     def test_grid_over_fault_rates(self):
+        from repro.campaign import Campaign
+
         spec = three_node_spec()
         workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=4)
-        points = sweep(
+        results = Campaign(
             spec,
             workload,
             grid={"rate_hz": [0.0, 8_000.0]},
@@ -323,23 +325,25 @@ class TestFaultSweep:
                 (RandomGlitches(seed=5, rate_hz=p["rate_hz"],
                                 duration_s=0.001),)
             ),
-        )
-        assert len(points) == 2
-        clean, noisy = points
-        assert clean.report.reliability.recovery_rate == 1.0
-        assert clean.report.reliability.performed_injections == 0
-        assert noisy.report.reliability.performed_injections > 0
+        ).run()
+        assert len(results) == 2
+        clean, noisy = results
+        assert clean.reliability["recovery_rate"] == 1.0
+        assert clean.reliability["performed_injections"] == 0
+        assert noisy.reliability["performed_injections"] > 0
 
     def test_unknown_key_without_any_factory_is_an_error(self):
+        from repro.campaign import Campaign
+
         spec = three_node_spec()
         workload = Burst("m", Address.short(0x2, 5), PAYLOAD, count=1)
         with pytest.raises(ConfigurationError, match="factory"):
-            sweep(
+            Campaign(
                 spec,
                 workload,
                 grid={"rate_hz": [1.0]},
                 faults=FaultSpec(),
-            )
+            ).trials()
 
 
 class TestResumableRecovery:

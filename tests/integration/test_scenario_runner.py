@@ -191,33 +191,79 @@ class TestRunReport:
         assert report.n_ok == 1
 
 
-class TestSweep:
-    def test_sweep_over_spec_field(self):
-        spec, workload = SHAPES["burst"]
-        points = sweep(
-            spec, workload, {"clock_hz": [100e3, 400e3]}, backend="fast"
-        )
-        assert [p.params["clock_hz"] for p in points] == [100e3, 400e3]
-        slow, fast_clock = points
-        assert fast_clock.report.throughput_tps > 3 * slow.report.throughput_tps
+class TestCampaignGridRuns:
+    def test_campaign_over_spec_field(self):
+        from repro.campaign import Campaign
 
-    def test_sweep_with_workload_factory(self):
+        spec, workload = SHAPES["burst"]
+        results = Campaign(
+            spec, workload, grid={"clock_hz": [100e3, 400e3]},
+            backend="fast",
+        ).run()
+        assert [r.params["clock_hz"] for r in results] == [100e3, 400e3]
+        slow, fast_clock = results
+        assert (
+            fast_clock.report["throughput_tps"]
+            > 3 * slow.report["throughput_tps"]
+        )
+
+    def test_campaign_with_workload_factory(self):
+        from repro.campaign import Campaign
+
         spec, _ = SHAPES["burst"]
-        points = sweep(
+        results = Campaign(
             spec,
             lambda params: Burst(
                 "cpu", Address.short(0x2, 5),
                 b"\x00" * params["payload_bytes"], count=3,
             ),
-            {"payload_bytes": [2, 32]},
+            grid={"payload_bytes": [2, 32]},
             backend="fast",
+        ).run()
+        assert (
+            results[1].report["goodput_bps"] > results[0].report["goodput_bps"]
         )
-        assert points[1].report.goodput_bps > points[0].report.goodput_bps
 
     def test_unknown_grid_key_with_fixed_workload_is_an_error(self):
+        from repro.campaign import Campaign
+
         spec, workload = SHAPES["burst"]
         with pytest.raises(ConfigurationError, match="factory"):
-            sweep(spec, workload, {"payload_bytes": [2, 4]})
+            Campaign(spec, workload, grid={"payload_bytes": [2, 4]}).trials()
+
+
+class TestSweepDeprecationShim:
+    def test_sweep_warns_and_matches_campaign(self):
+        """Satellite: sweep() still works — as a serial campaign in
+        disguise — but tells callers to move on."""
+        from repro.campaign import Campaign
+
+        spec, workload = SHAPES["burst"]
+        grid = {"clock_hz": [100e3, 400e3]}
+        with pytest.warns(DeprecationWarning, match="repro.campaign"):
+            points = sweep(spec, workload, grid, backend="fast")
+        results = Campaign(
+            spec, workload, grid=grid, backend="fast"
+        ).run(keep_reports=True)
+        assert [p.params for p in points] == [dict(r.params) for r in results]
+        for point, result in zip(points, results):
+            # Live reports on both sides, identical streams.
+            assert (
+                point.report.transaction_signatures()
+                == result.live.transaction_signatures()
+            )
+            assert point.report.delivery_set() == result.live.delivery_set()
+
+    def test_sweep_still_supports_setup_hooks(self):
+        seen = []
+        spec, workload = SHAPES["one_shot"]
+        with pytest.warns(DeprecationWarning):
+            points = sweep(
+                spec, workload, {"clock_hz": [100e3]}, backend="fast",
+                setup=lambda system: seen.append(system.mode),
+            )
+        assert seen == ["fast"]
+        assert points[0].report.n_ok == 1
 
 
 class TestScenarioDocuments:

@@ -1,0 +1,120 @@
+"""Grid algebra: product/zip axes, chain/cross composition, JSON."""
+
+import json
+
+import pytest
+
+from repro.campaign import Grid, as_grid
+from repro.core.errors import ConfigurationError
+
+
+class TestProduct:
+    def test_cartesian_product_in_axis_order(self):
+        grid = Grid.product(a=[1, 2], b=["x", "y"])
+        assert grid.points() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+        assert len(grid) == 4
+        assert grid.keys() == ("a", "b")
+
+    def test_empty_product_is_one_empty_point(self):
+        assert Grid.product().points() == [{}]
+
+    def test_empty_axis_enumerates_nothing(self):
+        assert Grid.product(a=[]).points() == []
+
+    def test_scalar_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="iterable"):
+            Grid.product(a=3)
+
+
+class TestZip:
+    def test_lockstep_axes(self):
+        grid = Grid.zip(a=[1, 2, 3], b=[10, 20, 30])
+        assert grid.points() == [
+            {"a": 1, "b": 10},
+            {"a": 2, "b": 20},
+            {"a": 3, "b": 30},
+        ]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="equal lengths"):
+            Grid.zip(a=[1, 2], b=[1])
+
+    def test_single_point(self):
+        assert Grid.single(a=1, b=2).points() == [{"a": 1, "b": 2}]
+
+
+class TestComposition:
+    def test_chain_concatenates(self):
+        grid = Grid.product(a=[1, 2]) + Grid.single(a=99, b=7)
+        assert grid.points() == [{"a": 1}, {"a": 2}, {"a": 99, "b": 7}]
+        assert grid.keys() == ("a", "b")
+
+    def test_chain_flattens(self):
+        grid = Grid.single(a=1) + Grid.single(a=2) + Grid.single(a=3)
+        assert grid.kind == "chain"
+        assert len(grid.parts) == 3
+
+    def test_cross_combines_every_pair(self):
+        grid = Grid.product(a=[1, 2]) * Grid.zip(b=[10, 20], c=[1, 2])
+        assert grid.points() == [
+            {"a": 1, "b": 10, "c": 1},
+            {"a": 1, "b": 20, "c": 2},
+            {"a": 2, "b": 10, "c": 1},
+            {"a": 2, "b": 20, "c": 2},
+        ]
+
+    def test_cross_with_shared_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="disjoint"):
+            Grid.product(a=[1]) * Grid.product(a=[2])
+
+    def test_iteration_matches_points(self):
+        grid = Grid.product(a=[1, 2]) + Grid.single(b=3)
+        assert list(grid) == grid.points()
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("grid", [
+        Grid.product(a=[1, 2], b=[3.5]),
+        Grid.zip(a=[1, 2], b=["u", "v"]),
+        Grid.product(a=[1]) + Grid.single(b=2),
+        Grid.product(a=[1, 2]) * Grid.zip(b=[3, 4]),
+    ], ids=["product", "zip", "chain", "cross"])
+    def test_round_trips_through_json(self, grid):
+        document = json.loads(json.dumps(grid.to_dict()))
+        rebuilt = Grid.from_dict(document)
+        assert rebuilt.points() == grid.points()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            Grid.from_dict({"kind": "mystery"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            Grid.from_dict({"kind": "product", "axes": {}, "extra": 1})
+
+
+class TestAsGrid:
+    def test_plain_mapping_means_product(self):
+        grid = as_grid({"a": [1, 2], "b": [3]})
+        assert grid.kind == "product"
+        assert grid.points() == [
+            {"a": 1, "b": 3},
+            {"a": 2, "b": 3},
+        ]
+
+    def test_grid_document_detected_by_kind(self):
+        grid = as_grid({"kind": "zip", "axes": {"a": [1, 2]}})
+        assert grid.kind == "zip"
+
+    def test_grid_passes_through(self):
+        grid = Grid.product(a=[1])
+        assert as_grid(grid) is grid
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError, match="Grid"):
+            as_grid(42)

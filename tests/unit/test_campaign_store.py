@@ -1,0 +1,113 @@
+"""ResultStore: content-addressed memoisation, persistence, recovery."""
+
+import json
+
+import pytest
+
+from repro.campaign import RESULTS_FILENAME, ResultStore, canonical_json
+from repro.core.errors import ConfigurationError
+
+
+def record(key: str, **extra):
+    return {"key": key, "schema_version": 1, "report": {"n_ok": 1}, **extra}
+
+
+class TestMemoryStore:
+    def test_put_get_roundtrip(self):
+        store = ResultStore.memory()
+        assert store.put(record("k1"))
+        assert store.get("k1")["report"] == {"n_ok": 1}
+        assert "k1" in store
+        assert len(store) == 1
+        assert store.path is None
+
+    def test_identical_reput_is_a_noop(self):
+        store = ResultStore.memory()
+        assert store.put(record("k1"))
+        assert not store.put(record("k1"))
+        assert len(store) == 1
+
+    def test_missing_key_is_none(self):
+        assert ResultStore.memory().get("nope") is None
+
+    def test_record_without_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="key"):
+            ResultStore.memory().put({"report": {}})
+
+
+class TestDiskStore:
+    def test_persists_and_reloads(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(record("k1"))
+        store.put(record("k2", params={"x": 1}))
+
+        reopened = ResultStore(tmp_path / "store")
+        assert len(reopened) == 2
+        assert reopened.get("k2")["params"] == {"x": 1}
+        assert reopened.keys() == ["k1", "k2"]
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(record("k1", params={"b": 2, "a": 1}))
+        lines = (tmp_path / "store" / RESULTS_FILENAME).read_text().splitlines()
+        assert lines == [canonical_json(record("k1", params={"b": 2, "a": 1}))]
+        # Canonical = sorted keys: insertion order cannot leak.
+        assert lines[0].index('"a"') < lines[0].index('"b"')
+
+    def test_append_only_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(record("k1"))
+        changed = record("k1")
+        changed["report"] = {"n_ok": 2}
+        assert store.put(changed)
+        raw = (tmp_path / "store" / RESULTS_FILENAME).read_text()
+        assert len(raw.splitlines()) == 2  # history kept
+        assert ResultStore(tmp_path / "store").get("k1")["report"] == {
+            "n_ok": 2
+        }
+
+    def test_torn_tail_rolled_back_on_open(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(record("k1"))
+        path = tmp_path / "store" / RESULTS_FILENAME
+        with open(path, "a") as handle:
+            handle.write('{"key": "k2", "repo')   # killed mid-append
+
+        reopened = ResultStore(tmp_path / "store")
+        assert len(reopened) == 1
+        assert "k2" not in reopened
+        # The partial line is gone from disk; new appends start clean.
+        assert path.read_bytes().endswith(b"\n")
+        reopened.put(record("k3"))
+        assert ResultStore(tmp_path / "store").keys() == ["k1", "k3"]
+
+    def test_corrupt_interior_line_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(record("k1"))
+        path = tmp_path / "store" / RESULTS_FILENAME
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        store2 = ResultStore(tmp_path / "store")
+        store2.put(record("k2"))
+        assert ResultStore(tmp_path / "store").keys() == ["k1", "k2"]
+
+    def test_future_schema_records_still_load(self, tmp_path):
+        """Satellite: unknown keys in stored records are tolerated —
+        a store written by a newer schema version still opens."""
+        store = ResultStore(tmp_path / "store")
+        futuristic = record("k1", schema_version=99, hologram={"v": 1})
+        store.put(futuristic)
+        reopened = ResultStore(tmp_path / "store")
+        loaded = reopened.get("k1")
+        assert loaded["hologram"] == {"v": 1}
+        assert loaded["schema_version"] == 99
+
+    def test_entries_are_the_persisted_bytes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(record("k1"))
+        store.put(record("k2"))
+        on_disk = (
+            (tmp_path / "store" / RESULTS_FILENAME).read_text().splitlines()
+        )
+        assert store.entries() == on_disk
+        assert [json.loads(line)["key"] for line in on_disk] == ["k1", "k2"]

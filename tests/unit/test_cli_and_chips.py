@@ -100,6 +100,72 @@ class TestCli:
         assert "recovery rate" in out
 
 
+CAMPAIGN_DOC = "examples/scenarios/recovery_campaign.json"
+
+
+class TestCampaignCli:
+    def test_campaign_run_then_rerun_hits_cache(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        assert main([
+            "campaign", "run", CAMPAIGN_DOC, "--store", store, "--json",
+        ]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["n_trials"] == 4
+        assert first["executed"] == 4
+        assert all(
+            record["report"]["reliability"] is not None
+            for record in first["results"]
+        )
+
+        assert main([
+            "campaign", "run", CAMPAIGN_DOC, "--store", store, "--json",
+        ]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] == 4
+        assert second["executed"] == 0
+        assert second["results"] == first["results"]
+
+    def test_campaign_status(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "status", CAMPAIGN_DOC,
+                     "--store", store]) == 0
+        assert "0/4" in capsys.readouterr().out
+        assert main(["campaign", "run", CAMPAIGN_DOC, "--store", store,
+                     "--output", str(tmp_path / "out.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", CAMPAIGN_DOC,
+                     "--store", store]) == 0
+        assert "4/4" in capsys.readouterr().out
+
+    def test_campaign_results_query_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        out = str(tmp_path / "records.jsonl")
+        assert main(["campaign", "run", CAMPAIGN_DOC, "--store", store]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "results", CAMPAIGN_DOC, "--store", store,
+            "--where", "faults.faults.0.rate_hz=4000.0",
+            "--output", out,
+        ]) == 0
+        lines = [
+            json.loads(line)
+            for line in open(out).read().splitlines() if line
+        ]
+        assert len(lines) == 1
+        assert lines[0]["params"]["faults.faults.0.rate_hz"] == 4000.0
+
+    def test_campaign_results_empty_store_fails(self, tmp_path, capsys):
+        assert main([
+            "campaign", "results", CAMPAIGN_DOC,
+            "--store", str(tmp_path / "empty"),
+        ]) == 1
+        assert "no stored results" in capsys.readouterr().err
+
+
 class TestProcessorSpec:
     def test_relay_energy_is_1nj(self):
         """50 cycles x 20 pJ = 1 nJ (Section 6.3.1)."""
