@@ -25,10 +25,22 @@ Commands
     Execute a campaign document: compile its grid to trials, serve
     unchanged trials from the content-addressed store, execute the
     rest (optionally process-parallel), and report the ResultSet.
+    Failures are data: ``--wall-timeout`` bounds each trial,
+    ``--retry-failed`` / ``--retry-quarantined`` re-execute cached
+    failures, and SIGINT/SIGTERM checkpoint-and-stop instead of
+    aborting.  Exits 1 when any trial failed, 130 when interrupted.
 ``campaign status CAMPAIGN.json [--store DIR]``
-    Report how many of the campaign's trials the store already holds.
-``campaign results CAMPAIGN.json [--store DIR] [--where k=v ...]``
-    Query stored results without executing anything.
+    Report how many of the campaign's trials the store already holds
+    (including failed / quarantined counts).
+``campaign results CAMPAIGN.json [--store DIR] [--where k=v ...] [--failed-only]``
+    Query stored results without executing anything.  Exits 1 when
+    any reported trial failed.
+``campaign compact CAMPAIGN.json --store DIR``
+    Rewrite the store file, dropping superseded duplicate records.
+``fuzz [--count N] [--seed S] [--faults-fraction F] [--repro-dir DIR]``
+    Differential fuzzing: seeded scenarios cross-checked edge vs fast
+    plus invariant checks; divergent cases are minimized and written
+    as JSON repros.  Exits 1 on any divergence (the CI contract).
 ``reliability``
     Run the recovery-rate-vs-glitch-rate robustness study and print
     the figure.
@@ -277,6 +289,9 @@ def _campaign_result_document(campaign, results, store) -> dict:
         "cached": results.cached,
         "cache_hit_rate": results.cache_hit_rate,
         "wall_s": results.wall_s,
+        "failed": results.failed,
+        "quarantined": results.quarantined,
+        "interrupted": results.interrupted,
         "store": None if store is None else str(store),
         "results": results.records(),
     }
@@ -291,6 +306,10 @@ def _cmd_campaign_run(args) -> int:
         workers=args.workers,
         store=args.store,
         resume=not args.no_resume,
+        wall_timeout_s=args.wall_timeout,
+        retry_failed=args.retry_failed,
+        retry_quarantined=args.retry_quarantined,
+        install_signal_handlers=True,
     )
     if args.output:
         results.to_jsonl(args.output)
@@ -304,7 +323,9 @@ def _cmd_campaign_run(args) -> int:
         print(results.summary())
         print()
         print(results.to_table())
-    return 0
+    if results.interrupted:
+        return 130
+    return 1 if results.failed else 0
 
 
 def _cmd_campaign_status(args) -> int:
@@ -333,6 +354,8 @@ def _cmd_campaign_results(args) -> int:
     where = _parse_where(args.where)
     if where:
         results = results.filter(**where)
+    if args.failed_only:
+        results = results.failures()
     if not stored:
         print(f"no stored results for this campaign in {args.store}",
               file=sys.stderr)
@@ -343,7 +366,30 @@ def _cmd_campaign_results(args) -> int:
     if args.json:
         print(json.dumps(results.records(), indent=2))
     elif not args.output:
+        print(results.summary())
+        print()
         print(results.to_table())
+    return 1 if results.failed else 0
+
+
+def _cmd_campaign_compact(args) -> int:
+    from repro.campaign import ResultStore
+
+    if args.store is None:
+        print("error: campaign compact requires --store DIR",
+              file=sys.stderr)
+        return 2
+    store = ResultStore(args.store, auto_compact=False)
+    reclaimed = store.compact()
+    if args.json:
+        print(json.dumps({
+            "store": str(args.store),
+            "live_records": len(store),
+            "reclaimed_lines": reclaimed,
+        }))
+    else:
+        print(f"compacted {args.store}: {len(store)} live record(s), "
+              f"{reclaimed} superseded line(s) reclaimed")
     return 0
 
 
@@ -352,7 +398,30 @@ def _cmd_campaign(args) -> int:
         "run": _cmd_campaign_run,
         "status": _cmd_campaign_status,
         "results": _cmd_campaign_results,
+        "compact": _cmd_campaign_compact,
     }[args.campaign_command](args)
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.diffcheck import fuzz
+
+    report = fuzz(
+        count=args.count,
+        seed=args.seed,
+        faults_fraction=args.faults_fraction,
+        repro_dir=None if args.no_repros else args.repro_dir,
+        minimize=not args.no_minimize,
+        invariants=not args.no_invariants,
+        progress=(
+            None if args.json
+            else lambda line: print(f"divergent: {line}", file=sys.stderr)
+        ),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return report.exit_code
 
 
 def _cmd_reliability(args) -> int:
@@ -456,7 +525,13 @@ def main(argv=None) -> int:
     campaign_results = campaign_sub.add_parser(
         "results", help="query stored results without executing"
     )
-    for command in (campaign_run, campaign_status, campaign_results):
+    campaign_compact = campaign_sub.add_parser(
+        "compact",
+        help="rewrite the store, dropping superseded duplicate records",
+    )
+    for command in (
+        campaign_run, campaign_status, campaign_results, campaign_compact,
+    ):
         command.add_argument(
             "campaign", help="path to a campaign JSON document"
         )
@@ -486,6 +561,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="re-execute every trial even when the store has it",
     )
+    campaign_run.add_argument(
+        "--wall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per trial; a trial past it is recorded "
+             "as outcome=timeout instead of hanging the campaign",
+    )
+    campaign_run.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-execute trials whose cached record is a failure "
+             "(quarantined trials stay parked)",
+    )
+    campaign_run.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help="re-execute every cached failure, quarantined ones included",
+    )
     campaign_results.add_argument(
         "--where",
         action="append",
@@ -493,12 +587,53 @@ def main(argv=None) -> int:
         help="filter rows by parameter equality (repeatable; value "
              "parsed as JSON, falling back to string)",
     )
+    campaign_results.add_argument(
+        "--failed-only",
+        action="store_true",
+        help="show only trials whose stored record is a failure",
+    )
     for command in (campaign_run, campaign_results):
         command.add_argument(
             "--output",
             metavar="PATH",
             help="write one canonical record per line (JSONL)",
         )
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: edge vs fast plus invariant checks",
+    )
+    fuzz_cmd.add_argument(
+        "--count", type=int, default=100,
+        help="number of seeded scenarios (default: 100)",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    fuzz_cmd.add_argument(
+        "--faults-fraction", type=float, default=0.25,
+        help="fraction of scenarios drawing a fault set (default: 0.25)",
+    )
+    fuzz_cmd.add_argument(
+        "--repro-dir", default="fuzz_repros", metavar="DIR",
+        help="where minimized divergence repros are written "
+             "(default: fuzz_repros)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-repros", action="store_true",
+        help="do not write repro files for divergent scenarios",
+    )
+    fuzz_cmd.add_argument(
+        "--no-minimize", action="store_true",
+        help="record raw divergent scenarios instead of shrinking them",
+    )
+    fuzz_cmd.add_argument(
+        "--no-invariants", action="store_true",
+        help="skip replay-determinism and empty-fault-spec checks "
+             "(cross-backend diff only; roughly 3x faster)",
+    )
+    fuzz_cmd.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     reliability_cmd = sub.add_parser(
         "reliability",
         help="run the recovery-vs-glitch-rate robustness study",
@@ -530,6 +665,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
+        "fuzz": _cmd_fuzz,
         "reliability": _cmd_reliability,
     }[args.command](args)
 

@@ -11,9 +11,10 @@ node count, recovery vs. glitch rate — is a :class:`Campaign`:
   cross),
 
 which **compiles** to an explicit list of content-addressed
-:class:`Trial` documents, **executes** through a pluggable executor
-(``"serial"`` or ``"process"`` via ``concurrent.futures``),
-**memoises** every trial in an append-only, resumable
+:class:`Trial` documents, **executes** through a pluggable,
+failure-isolating executor (``"serial"``, or ``"process"`` via the
+crash-surviving :class:`~repro.campaign.executors.ProcessPool`),
+**memoises** every trial in an append-only, resumable, compactable
 :class:`ResultStore` (key = SHA-256 of the trial documents), and
 returns a queryable :class:`ResultSet`::
 
@@ -30,10 +31,14 @@ returns a queryable :class:`ResultSet`::
     rs.summary()                                   # cache accounting
 
 Re-running the same campaign against the same store executes nothing:
-every trial is served from cache.  Interrupt it halfway and only the
-missing trials run next time.  ``python -m repro campaign
-run/status/results`` exposes the same machinery over JSON campaign
-documents (see EXPERIMENTS.md).
+every trial is served from cache.  Interrupt it halfway (SIGINT is a
+graceful checkpoint, not a crash) and only the missing trials run
+next time.  Failing trials — raised exceptions, wall-clock timeouts,
+dead workers — become structured :class:`TrialFailure` records in the
+same store (see :mod:`repro.campaign.failures`), retried under a
+:class:`RetryPolicy` and quarantined when poisonous.  ``python -m
+repro campaign run/status/results/compact`` exposes the same
+machinery over JSON campaign documents (see EXPERIMENTS.md).
 
 The legacy :func:`repro.scenario.runner.sweep` survives as a
 deprecated shim over a serial campaign.
@@ -47,6 +52,16 @@ from repro.campaign.campaign import (
     EXECUTORS,
     load_campaign,
 )
+from repro.campaign.executors import ProcessPool, run_serial
+from repro.campaign.failures import (
+    FAILURE_OUTCOMES,
+    RetryPolicy,
+    TrialFailure,
+    classify_exception,
+    failure_record,
+    record_is_quarantined,
+    record_outcome,
+)
 from repro.campaign.grid import GRID_KINDS, Grid, as_grid
 from repro.campaign.resultset import AGGREGATIONS, ResultSet, TrialResult
 from repro.campaign.store import RESULTS_FILENAME, ResultStore
@@ -59,23 +74,37 @@ from repro.campaign.trial import (
     trial_record,
 )
 
+# Importing the chaos drill registers its workload kind; with the
+# default fork start method, worker processes inherit the
+# registration, so chaos documents deserialise everywhere.
+import repro.campaign.chaos  # noqa: E402,F401  (registration side effect)
+
 __all__ = [
     "AGGREGATIONS",
     "Campaign",
     "CampaignStatus",
     "EXECUTORS",
+    "FAILURE_OUTCOMES",
     "GRID_KINDS",
     "Grid",
+    "ProcessPool",
     "RESULTS_FILENAME",
     "ResultSet",
     "ResultStore",
+    "RetryPolicy",
     "Trial",
+    "TrialFailure",
     "TrialResult",
     "as_grid",
     "canonical_json",
+    "classify_exception",
     "derive_trial_seed",
     "execute_trial",
+    "failure_record",
     "load_campaign",
+    "record_is_quarantined",
+    "record_outcome",
+    "run_serial",
     "run_trial_document",
     "trial_record",
 ]

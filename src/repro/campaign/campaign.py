@@ -27,16 +27,20 @@ With ``seed=`` set, each point's params also gain a ``trial_seed``
 workloads stay execution-order independent.
 
 Execution (:meth:`Campaign.run`) is memoised through a
-:class:`~repro.campaign.store.ResultStore` and pluggable:
+:class:`~repro.campaign.store.ResultStore`, *failure-isolating* (a
+trial that raises, times out, or kills its worker becomes a
+structured failure record — see :mod:`repro.campaign.failures` — and
+the campaign keeps going) and pluggable:
 
 * ``executor="serial"`` — in-process, in trial order; the only
   executor that can keep live reports (``keep_reports=True``) or
   carry code (``setup=`` hooks, ``trace=True`` — both bypass the
   store, because code is invisible to a content hash);
-* ``executor="process"`` — a ``concurrent.futures``
-  ``ProcessPoolExecutor``; trials cross the boundary as JSON
-  documents and records come back, so results are identical to
-  serial execution byte for byte.
+* ``executor="process"`` — the crash-isolating
+  :class:`~repro.campaign.executors.ProcessPool`: trials cross the
+  boundary as JSON documents and records come back, so results are
+  identical to serial execution byte for byte; a worker that dies
+  mid-trial is replaced and only its trial records ``crashed``.
 
 Future sharded/async backends plug in at the same seam: a list of
 :class:`Trial` documents in, records keyed by content hash out.
@@ -44,9 +48,11 @@ Future sharded/async backends plug in at the same seam: a list of
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -58,15 +64,20 @@ from typing import (
     Union,
 )
 
+from repro.campaign.executors import ProcessPool, run_serial
+from repro.campaign.failures import (
+    RetryPolicy,
+    normalize_retry,
+    record_is_quarantined,
+    record_outcome,
+)
 from repro.campaign.grid import Grid, GridLike, as_grid
 from repro.campaign.resultset import ResultSet, TrialResult
 from repro.campaign.store import ResultStore
 from repro.campaign.trial import (
     Trial,
     derive_trial_seed,
-    execute_trial,
     patch_document,
-    run_trial_document,
 )
 from repro.core.errors import ConfigurationError
 from repro.faults.primitives import FaultSpec, normalize_faults
@@ -101,6 +112,15 @@ class Campaign:
     #: When set, injects a deterministic ``trial_seed`` into every
     #: point's params (for factories building seeded workloads).
     seed: Optional[int] = None
+    #: Per-trial wall-clock budget (host seconds): the simulator
+    #: raises :class:`~repro.core.errors.WallClockTimeout` past it,
+    #: and the process executor SIGKILLs a worker that overshoots the
+    #: hard deadline.  Execution policy — never part of trial keys.
+    wall_timeout_s: Optional[float] = None
+    #: Retry policy for failing trials: a
+    #: :class:`~repro.campaign.failures.RetryPolicy`, a dict of its
+    #: fields, or None for the defaults.
+    retry: Any = None
 
     # ------------------------------------------------------------------
     # Compilation.
@@ -217,6 +237,7 @@ class Campaign:
                     faults_doc=faults_doc,
                     backend=self.backend,
                     timeout_s=self.timeout_s,
+                    wall_timeout_s=self.wall_timeout_s,
                 )
             )
         return trials
@@ -235,12 +256,21 @@ class Campaign:
         trace: bool = False,
         order: Optional[Sequence[int]] = None,
         dedupe: bool = True,
+        retry: Any = None,
+        retry_failed: bool = False,
+        retry_quarantined: bool = False,
+        wall_timeout_s: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+        install_signal_handlers: bool = False,
     ) -> ResultSet:
         """Execute the campaign and return its :class:`ResultSet`.
 
         ``store`` — a :class:`ResultStore`, a directory path, or
         ``None`` for an in-memory scratch store.  ``resume=True``
-        serves any trial whose key is already stored from cache.
+        serves any trial whose key is already stored from cache —
+        including stored *failures*: a failed trial is not re-executed
+        unless ``retry_failed=True`` (or, for quarantined failures,
+        ``retry_quarantined=True``).
 
         ``order`` — an optional permutation of trial indices fixing
         *execution* order (results always come back in trial order);
@@ -254,6 +284,14 @@ class Campaign:
 
         ``dedupe=False`` re-executes trials whose documents are
         identical instead of aliasing them to one execution.
+
+        ``retry`` / ``wall_timeout_s`` override the campaign-level
+        fields for this run.  ``stop`` is an optional external stop
+        event; ``install_signal_handlers=True`` (main thread only)
+        wires SIGINT/SIGTERM to it, so an interrupted run checkpoints
+        every completed trial and returns a partial, resumable
+        :class:`ResultSet` with ``interrupted=True`` instead of dying
+        mid-write.
         """
         if executor not in EXECUTORS:
             raise ConfigurationError(
@@ -272,7 +310,20 @@ class Campaign:
                 "hold the simulator, which cannot cross processes"
             )
         start = time.perf_counter()
+        policy = (
+            normalize_retry(retry)
+            or normalize_retry(self.retry)
+            or RetryPolicy()
+        )
+        effective_wall = (
+            self.wall_timeout_s if wall_timeout_s is None else wall_timeout_s
+        )
         trials = self.trials()
+        if wall_timeout_s is not None:
+            trials = [
+                dataclasses.replace(trial, wall_timeout_s=wall_timeout_s)
+                for trial in trials
+            ]
         if code_bearing:
             live_store = ResultStore.memory()
             resume = False
@@ -295,7 +346,9 @@ class Campaign:
             trial = trials[index]
             if resume:
                 record = live_store.get(trial.key)
-                if record is not None:
+                if record is not None and not self._should_redo(
+                    record, retry_failed, retry_quarantined
+                ):
                     results[index] = TrialResult(
                         trial=trial, record=record, cached=True
                     )
@@ -319,60 +372,108 @@ class Campaign:
             to_execute = pending
 
         fresh: Dict[str, Dict] = {}
-        if executor == "serial":
-            for trial in to_execute:
-                record, wall_s, report = execute_trial(
-                    trial, setup=setup, trace=trace
-                )
-                live_store.put(record)
-                fresh[trial.key] = record
-                results[trial.index] = TrialResult(
-                    trial=trial,
-                    record=record,
-                    cached=False,
-                    wall_s=wall_s,
-                    live=report if keep_reports else None,
-                )
-        elif to_execute:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(run_trial_document, trial.to_dict()): trial
-                    for trial in to_execute
-                }
-                for future in as_completed(futures):
-                    index, record, wall_s = future.result()
-                    live_store.put(record)
-                    fresh[record["key"]] = record
-                    results[index] = TrialResult(
-                        trial=trials[index],
-                        record=record,
-                        cached=False,
-                        wall_s=wall_s,
-                    )
-        for trial in aliases:
+
+        def on_outcome(trial, record, wall_s, live_report):
+            live_store.put(record)
+            fresh[trial.key] = record
             results[trial.index] = TrialResult(
-                trial=trial, record=fresh[trial.key], cached=True
+                trial=trial,
+                record=record,
+                cached=False,
+                wall_s=wall_s,
+                live=live_report if keep_reports else None,
             )
 
+        stop_event = stop or threading.Event()
+        restore: List = []
+        if (
+            install_signal_handlers
+            and threading.current_thread() is threading.main_thread()
+        ):
+            def _graceful(_signum, _frame):
+                stop_event.set()
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                restore.append((signum, signal.signal(signum, _graceful)))
+        interrupted = False
+        try:
+            if executor == "serial":
+                interrupted = run_serial(
+                    to_execute,
+                    on_outcome,
+                    policy,
+                    stop_event,
+                    setup=setup,
+                    trace=trace,
+                )
+            elif to_execute:
+                pool = ProcessPool(
+                    workers=workers,
+                    policy=policy,
+                    wall_timeout_s=effective_wall,
+                )
+                interrupted = pool.run(to_execute, on_outcome, stop_event)
+        finally:
+            for signum, previous in restore:
+                signal.signal(signum, previous)
+        for trial in aliases:
+            # An alias only resolves if its twin actually finished
+            # (an interrupted run may have left it pending).
+            if trial.key in fresh:
+                results[trial.index] = TrialResult(
+                    trial=trial, record=fresh[trial.key], cached=True
+                )
+
         return ResultSet(
-            [results[index] for index in range(len(trials))],
+            [
+                results[index]
+                for index in range(len(trials))
+                if index in results
+            ],
             executor=executor,
             wall_s=time.perf_counter() - start,
             name=self.name,
+            interrupted=interrupted,
+            planned=len(trials),
         )
+
+    @staticmethod
+    def _should_redo(
+        record: Dict, retry_failed: bool, retry_quarantined: bool
+    ) -> bool:
+        """Resume policy: is this cached record stale enough to
+        re-execute?  Successes never are; failures only on request,
+        and quarantined failures only on *explicit* request."""
+        if record_outcome(record) == "ok":
+            return False
+        if record_is_quarantined(record):
+            return retry_quarantined
+        return retry_failed or retry_quarantined
 
     # ------------------------------------------------------------------
     # Status.
     # ------------------------------------------------------------------
     def status(self, store: StoreLike) -> "CampaignStatus":
-        """How much of this campaign the store already holds."""
+        """How much of this campaign the store already holds, split
+        by outcome."""
         live_store = _as_store(store)
         trials = self.trials()
-        cached = sum(1 for trial in trials if trial.key in live_store)
+        cached = failed = quarantined = 0
+        for trial in trials:
+            record = live_store.get(trial.key)
+            if record is None:
+                continue
+            cached += 1
+            if record_outcome(record) != "ok":
+                failed += 1
+                if record_is_quarantined(record):
+                    quarantined += 1
         return CampaignStatus(
             name=self.name,
             n_trials=len(trials),
             cached=cached,
+            failed=failed,
+            quarantined=quarantined,
             store_path=(
                 None if live_store.path is None else str(live_store.path)
             ),
@@ -400,11 +501,17 @@ class Campaign:
             "backend": self.backend,
             "timeout_s": self.timeout_s,
             "seed": self.seed,
+            "wall_timeout_s": self.wall_timeout_s,
+            "retry": (
+                None
+                if self.retry is None
+                else normalize_retry(self.retry).to_dict()
+            ),
         }
 
     _KEYS = frozenset({
         "name", "system", "workload", "faults", "grid", "backend",
-        "timeout_s", "seed",
+        "timeout_s", "seed", "wall_timeout_s", "retry",
     })
 
     @classmethod
@@ -437,6 +544,8 @@ class Campaign:
             name=data.get("name", ""),
             timeout_s=data.get("timeout_s"),
             seed=data.get("seed"),
+            wall_timeout_s=data.get("wall_timeout_s"),
+            retry=normalize_retry(data.get("retry")),
         )
 
 
@@ -447,6 +556,8 @@ class CampaignStatus:
     name: str
     n_trials: int
     cached: int
+    failed: int = 0
+    quarantined: int = 0
     store_path: Optional[str] = None
 
     @property
@@ -462,6 +573,8 @@ class CampaignStatus:
             "name": self.name,
             "n_trials": self.n_trials,
             "cached": self.cached,
+            "failed": self.failed,
+            "quarantined": self.quarantined,
             "pending": self.pending,
             "complete": self.complete,
             "store": self.store_path,
@@ -470,10 +583,16 @@ class CampaignStatus:
     def summary(self) -> str:
         label = self.name or "campaign"
         where = f" in {self.store_path}" if self.store_path else ""
-        return (
+        text = (
             f"{label}: {self.cached}/{self.n_trials} trial(s) cached"
             f"{where}, {self.pending} pending"
         )
+        if self.failed:
+            text += (
+                f"; {self.failed} FAILED"
+                f" ({self.quarantined} quarantined)"
+            )
+        return text
 
 
 def load_campaign(

@@ -34,6 +34,7 @@ from typing import (
     Union,
 )
 
+from repro.campaign.failures import TrialFailure, record_outcome
 from repro.campaign.trial import Trial, canonical_json
 from repro.core.errors import ConfigurationError
 
@@ -77,11 +78,30 @@ class TrialResult:
 
     @property
     def report(self) -> Dict:
-        return self.record["report"]
+        """The stored report; empty for failed trials (their record
+        carries a ``failure`` document instead)."""
+        return self.record.get("report") or {}
 
     @property
     def reliability(self) -> Optional[Dict]:
         return self.report.get("reliability")
+
+    @property
+    def outcome(self) -> str:
+        """``"ok"`` / ``"error"`` / ``"timeout"`` / ``"crashed"``."""
+        return record_outcome(self.record)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    @property
+    def failure(self) -> Optional[TrialFailure]:
+        """The structured failure, or None for successful trials."""
+        doc = self.record.get("failure")
+        if doc is None:
+            return None
+        return TrialFailure.from_dict(doc, lenient=True)
 
     def value(self, metric: Metric, default: Any = _MISSING) -> Any:
         """Resolve a metric against this result (see module docs)."""
@@ -137,6 +157,8 @@ class ResultSet(Sequence):
         executor: str = "serial",
         wall_s: float = 0.0,
         name: str = "",
+        interrupted: bool = False,
+        planned: Optional[int] = None,
     ):
         self._results: Tuple[TrialResult, ...] = tuple(results)
         self.executor = executor
@@ -144,6 +166,12 @@ class ResultSet(Sequence):
         #: and cache lookups), not the sum of per-trial walls.
         self.wall_s = wall_s
         self.name = name
+        #: True when the run was stopped early (SIGINT/SIGTERM): the
+        #: set holds only the trials that finished before the stop.
+        self.interrupted = interrupted
+        #: How many trials the campaign compiled; equals ``len(self)``
+        #: unless the run was interrupted.
+        self.planned = len(self._results) if planned is None else planned
 
     # -- sequence protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -160,7 +188,8 @@ class ResultSet(Sequence):
     def _derive(self, results: Sequence[TrialResult]) -> "ResultSet":
         return ResultSet(
             results, executor=self.executor, wall_s=self.wall_s,
-            name=self.name,
+            name=self.name, interrupted=self.interrupted,
+            planned=self.planned,
         )
 
     # -- provenance --------------------------------------------------------
@@ -177,6 +206,29 @@ class ResultSet(Sequence):
         if not self._results:
             return 0.0
         return self.cached / len(self._results)
+
+    @property
+    def failed(self) -> int:
+        """Trials whose outcome is not ``"ok"``."""
+        return sum(1 for r in self._results if not r.ok)
+
+    @property
+    def quarantined(self) -> int:
+        """Failed trials whose retryable class exhausted its attempts."""
+        return sum(
+            1
+            for r in self._results
+            if r.failure is not None and r.failure.quarantined
+        )
+
+    def failures(self) -> "ResultSet":
+        """The failed trials, as a queryable subset."""
+        return self._derive([r for r in self._results if not r.ok])
+
+    def oks(self) -> "ResultSet":
+        """The successful trials (safe to feed metric queries that
+        assume a report is present)."""
+        return self._derive([r for r in self._results if r.ok])
 
     def records(self) -> List[Dict]:
         return [r.record for r in self._results]
@@ -257,13 +309,35 @@ class ResultSet(Sequence):
             (key, key) for key in self.param_keys()
         ]
         columns += [
-            ("ok", lambda r: f"{r.report['n_ok']}/{r.report['n_transactions']}"),
+            (
+                "ok",
+                lambda r: (
+                    f"{r.report['n_ok']}/{r.report['n_transactions']}"
+                    if r.ok
+                    else "-"
+                ),
+            ),
             ("txn/s", "report.throughput_tps"),
-            ("kbit/s", lambda r: r.report["goodput_bps"] / 1e3),
+            (
+                "kbit/s",
+                lambda r: r.report["goodput_bps"] / 1e3 if r.ok else "",
+            ),
         ]
         if any(r.reliability for r in self._results):
             columns.append(
                 ("recovery", "report.reliability.recovery_rate")
+            )
+        if any(not r.ok for r in self._results):
+            columns.append(
+                (
+                    "outcome",
+                    lambda r: r.outcome
+                    + (
+                        " (q)"
+                        if r.failure is not None and r.failure.quarantined
+                        else ""
+                    ),
+                )
             )
         columns.append(("cached", lambda r: "yes" if r.cached else "no"))
         return columns
@@ -318,8 +392,17 @@ class ResultSet(Sequence):
 
     def summary(self) -> str:
         label = self.name or "campaign"
-        return (
+        text = (
             f"{label}: {len(self)} trial(s) via {self.executor} executor — "
             f"{self.executed} executed, {self.cached} from cache "
             f"({self.cache_hit_rate:.0%}) in {self.wall_s * 1e3:.0f} ms"
         )
+        if self.failed:
+            text += (
+                f"; {self.failed} FAILED"
+                f" ({self.quarantined} quarantined)"
+            )
+        if self.interrupted:
+            pending = self.planned - len(self)
+            text += f"; INTERRUPTED with {pending} trial(s) pending"
+        return text

@@ -15,8 +15,16 @@ Properties the campaign layer leans on:
   never poisons the log.
 * **append-only** — records are never rewritten in place.  Re-putting
   an identical record is a no-op; a *different* record under an
-  existing key (e.g. after a schema bump) is appended and wins on
-  reload (last write wins), preserving full history in the log.
+  existing key (e.g. after a schema bump, or a failed trial re-run
+  under ``retry_failed``) is appended and wins on reload (last write
+  wins), preserving full history in the log.
+* **bounded** — last-write-wins appending leaves superseded lines
+  behind, and a cross-run retry loop (a flaky trial failed and
+  re-recorded every campaign run) would otherwise grow the log
+  without bound.  :meth:`compact` rewrites the file down to the live
+  records (atomically: temp file + ``os.replace``); stores auto-compact
+  on load once the stale-line count passes
+  ``max(live records, AUTO_COMPACT_MIN_STALE)``.
 * **byte-deterministic** — records are serialised with
   :func:`~repro.campaign.trial.canonical_json`, so the same trial
   always produces the same bytes, regardless of executor, process or
@@ -42,18 +50,32 @@ from repro.core.errors import ConfigurationError
 
 RESULTS_FILENAME = "results.jsonl"
 
+#: Auto-compaction floor: a loaded store rewrites itself only once it
+#: carries more stale (superseded or unparsable) lines than live
+#: records *and* at least this many — tiny stores never churn disk.
+AUTO_COMPACT_MIN_STALE = 64
+
 
 class ResultStore:
     """Key -> record memoisation, optionally JSONL-backed on disk."""
 
-    def __init__(self, path: Union[str, Path, None]):
+    def __init__(
+        self,
+        path: Union[str, Path, None],
+        auto_compact: bool = True,
+    ):
         self._path: Optional[Path] = None if path is None else Path(path)
         self._records: Dict[str, Dict] = {}
         self._lines: Dict[str, str] = {}
         self._order: List[str] = []
+        self._stale = 0
         if self._path is not None:
             self._path.mkdir(parents=True, exist_ok=True)
             self._load()
+            if auto_compact and self._stale > max(
+                len(self._records), AUTO_COMPACT_MIN_STALE
+            ):
+                self.compact()
 
     @classmethod
     def memory(cls) -> "ResultStore":
@@ -94,6 +116,12 @@ class ResultStore:
     def get(self, key: str) -> Optional[Dict]:
         return self._records.get(key)
 
+    @property
+    def stale_lines(self) -> int:
+        """Superseded or unparsable lines currently in the log — the
+        bytes :meth:`compact` would reclaim."""
+        return self._stale
+
     # -- mutation ----------------------------------------------------------
     def put(self, record: Dict) -> bool:
         """Memoise ``record``; returns True if anything was written.
@@ -112,6 +140,8 @@ class ResultStore:
             return False
         if key not in self._records:
             self._order.append(key)
+        else:
+            self._stale += 1  # the old line is now dead weight
         self._records[key] = json.loads(line)
         self._lines[key] = line
         if self._path is not None:
@@ -142,11 +172,37 @@ class ResultStore:
             except json.JSONDecodeError:
                 # A corrupt interior line loses one record, never the
                 # store: skip it rather than refuse to open.
+                self._stale += 1
                 continue
             key = record.get("key") if isinstance(record, dict) else None
             if not isinstance(key, str) or not key:
+                self._stale += 1
                 continue
             if key not in self._records:
                 self._order.append(key)
+            else:
+                self._stale += 1
             self._records[key] = record
             self._lines[key] = line
+
+    # -- compaction --------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the log down to the live records, in first-seen key
+        order.  Atomic (temp file + ``os.replace``): a crash mid-compact
+        leaves the original log untouched.  Returns the number of
+        stale lines reclaimed; a no-op for memory stores and for logs
+        that are already compact.
+        """
+        reclaimed = self._stale
+        if self._path is None or reclaimed == 0:
+            return 0
+        path = self.results_path
+        tmp = path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w") as handle:
+            for key in self._order:
+                handle.write(self._lines[key] + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._stale = 0
+        return reclaimed

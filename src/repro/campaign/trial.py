@@ -70,6 +70,10 @@ class Trial:
     faults_doc: Optional[Dict] = None
     backend: str = "auto"
     timeout_s: Optional[float] = None
+    #: Per-trial wall-clock budget (host seconds).  Execution policy,
+    #: not content: two trials differing only in their wall budget are
+    #: the same experiment, so this field never enters :attr:`key`.
+    wall_timeout_s: Optional[float] = None
 
     @functools.cached_property
     def key(self) -> str:
@@ -78,6 +82,9 @@ class Trial:
         ``params`` are deliberately excluded — they are provenance
         (how the grid named this point), not content; two grids that
         compile to the same documents share one cache entry.
+        ``wall_timeout_s`` is excluded for the same reason: a
+        wall-clock budget is how the trial is *executed*, not what it
+        *is*.
         """
         return hashlib.sha256(
             canonical_json(
@@ -100,6 +107,7 @@ class Trial:
             "faults": self.faults_doc,
             "backend": self.backend,
             "timeout_s": self.timeout_s,
+            "wall_timeout_s": self.wall_timeout_s,
         }
 
     @classmethod
@@ -112,6 +120,7 @@ class Trial:
             faults_doc=data.get("faults"),
             backend=data.get("backend", "auto"),
             timeout_s=data.get("timeout_s"),
+            wall_timeout_s=data.get("wall_timeout_s"),
         )
 
 
@@ -130,6 +139,7 @@ def trial_record(trial: Trial, report_doc: Dict) -> Dict:
         "key": trial.key,
         "params": dict(trial.params),
         "backend": doc.get("backend"),
+        "outcome": "ok",
         "report": doc,
     }
 
@@ -167,6 +177,7 @@ def execute_trial(
         timeout_s=trial.timeout_s,
         setup=setup,
         faults=faults,
+        wall_timeout_s=trial.wall_timeout_s,
     )
     return trial_record(trial, report.to_dict()), report.wall_s, report
 

@@ -33,3 +33,25 @@ class BusLockedError(MBusError):
     impossible for transient faults; the simulator raises it if a test
     scenario ever produces a hung bus, making regressions loud.
     """
+
+
+class WallClockTimeout(MBusError):
+    """A run exceeded its wall-clock budget.
+
+    Raised cooperatively by the event loop when a per-trial
+    ``wall_timeout_s`` expires (see
+    :meth:`repro.sim.scheduler.Simulator.run`); campaign executors
+    record it as a ``timeout`` outcome instead of aborting the
+    campaign.  Distinct from the *simulated-time* ``timeout_s``, which
+    bounds bus time, not host time.
+    """
+
+
+class TransientTrialError(MBusError):
+    """Marker base class for errors worth retrying.
+
+    Campaign executors treat subclasses (and :class:`OSError` /
+    :class:`MemoryError`) as transient: the trial is re-attempted with
+    exponential backoff up to the retry policy's ``max_attempts``
+    before a failure record is written.
+    """

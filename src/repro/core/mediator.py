@@ -121,6 +121,7 @@ class MediatorLogic:
         self._clock_event = None
         self._wake_event = None
         self._forward_data_pending = False
+        self._member_start_pending = False
 
         self._detector = InterjectionDetector(
             data_in,
@@ -157,9 +158,18 @@ class MediatorLogic:
             self._wake_event = self.sim.schedule(
                 self.timing.mediator_wakeup_ps, self._self_start
             )
+        else:
+            # The member re-requested while the previous transaction is
+            # still winding down (control cycles or the return-to-idle
+            # settle).  A *wire* requester in that window is caught by
+            # the DATA-low check in _return_to_idle; the co-located
+            # member never touches DATA, so latch its request here and
+            # service it the same way.
+            self._member_start_pending = True
 
     def _self_start(self) -> None:
         self.phase = MediatorPhase.ACTIVE
+        self._member_start_pending = False
         self._rising = 0
         self._start_ps = self.sim.now
         self._general_error = False
@@ -382,6 +392,8 @@ class MediatorLogic:
         self.data_ctl.forward()
         self.clk_ctl.forward()
         # A request may already be pending on the wire (a node pulled
-        # DATA low while we were finishing); catch it.
-        if self.data_in.value == 0:
+        # DATA low while we were finishing) or latched by the local
+        # member (start_for_member during wind-down); catch either.
+        if self._member_start_pending or self.data_in.value == 0:
+            self._member_start_pending = False
             self._schedule_self_start()

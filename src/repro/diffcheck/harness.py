@@ -1,0 +1,236 @@
+"""The differential fuzzing harness: generate, run, diff, minimize.
+
+:func:`fuzz` drives the whole loop: seeded scenarios from
+:mod:`~repro.diffcheck.generators`, executed cross-backend (edge vs
+fast for clean scenarios; edge-only replay for faulty ones, since the
+fast path has no wires to disturb), diffed under the projections in
+:mod:`~repro.diffcheck.checks`, and any divergent scenario greedily
+minimized (:mod:`~repro.diffcheck.minimize`) and written to
+``fuzz_repros/`` as a standalone JSON repro.
+
+Error symmetry: both backends raising the *same exception type* for a
+scenario is consistent semantics (e.g. an over-long message rejected
+everywhere), not a divergence — only asymmetric outcomes (one raises,
+one answers; or different error types) count.
+
+``python -m repro fuzz`` is a thin CLI over :func:`fuzz`; CI runs it
+with a fixed seed and a bounded scenario count and fails on any
+divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.diffcheck.checks import (
+    check_bitbang_feasibility,
+    check_conservation,
+    check_fault_free_noop,
+    check_replay_determinism,
+    diff_reports,
+    _run_scenario,
+)
+from repro.diffcheck.generators import generate_scenarios, scenario_key
+from repro.diffcheck.minimize import minimize_scenario, write_repro
+
+
+def _run_pair(scenario: Dict) -> Tuple[object, object, List[str]]:
+    """Run a clean scenario on both backends.
+
+    Returns ``(edge_report, fast_report, divergences)`` — reports are
+    None when that backend raised.  Symmetric same-type errors are
+    consistent; asymmetric outcomes are divergences.
+    """
+    outcomes = {}
+    for backend in ("edge", "fast"):
+        try:
+            outcomes[backend] = ("ok", _run_scenario(scenario, backend))
+        except Exception as exc:   # any failure class is data here
+            outcomes[backend] = ("err", type(exc).__name__)
+    (edge_kind, edge_value) = outcomes["edge"]
+    (fast_kind, fast_value) = outcomes["fast"]
+    if edge_kind == "ok" and fast_kind == "ok":
+        return edge_value, fast_value, []
+    if edge_kind == "err" and fast_kind == "err":
+        if edge_value == fast_value:
+            return None, None, []   # consistent refusal
+        return None, None, [
+            f"backends raise differently: edge={edge_value}, "
+            f"fast={fast_value}"
+        ]
+    raised, answered = (
+        ("edge", "fast") if edge_kind == "err" else ("fast", "edge")
+    )
+    detail = edge_value if edge_kind == "err" else fast_value
+    return None, None, [
+        f"{raised} backend raises {detail} but {answered} answers"
+    ]
+
+
+def examine_scenario(scenario: Dict, invariants: bool = True) -> List[str]:
+    """All divergences for one scenario (empty = healthy).
+
+    Clean scenarios get the full battery: cross-backend diff,
+    conservation, and (with ``invariants=True``) replay determinism
+    and the empty-fault-spec no-op.  Faulty scenarios force the edge
+    engine, so they get replay determinism only.
+    """
+    divergences = list(check_bitbang_feasibility(scenario))
+    if scenario.get("faults") is None:
+        edge, fast, errors = _run_pair(scenario)
+        divergences += errors
+        if edge is not None and fast is not None:
+            divergences += diff_reports(edge, fast)
+            divergences += check_conservation(scenario, edge)
+        if invariants:
+            divergences += check_replay_determinism(scenario, "fast")
+            divergences += check_fault_free_noop(scenario, "edge")
+    else:
+        divergences += check_replay_determinism(scenario, "edge")
+    return divergences
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One fuzzed scenario's verdict."""
+
+    scenario: Dict
+    divergences: Tuple[str, ...] = ()
+    repro_path: Optional[str] = None
+
+    @property
+    def seed(self) -> int:
+        return self.scenario.get("seed", -1)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def key(self) -> str:
+        return scenario_key(self.scenario)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def divergent(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "n_scenarios": self.n_scenarios,
+            "n_divergent": len(self.divergent),
+            "divergent": [
+                {
+                    "seed": o.seed,
+                    "key": o.key,
+                    "divergences": list(o.divergences),
+                    "repro": o.repro_path,
+                }
+                for o in self.divergent
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.n_scenarios} scenario(s) from seed {self.seed} — "
+            f"{len(self.divergent)} divergent"
+        ]
+        for outcome in self.divergent:
+            lines.append(
+                f"  seed {outcome.seed} ({outcome.key}):"
+            )
+            for divergence in outcome.divergences:
+                lines.append(f"    - {divergence}")
+            if outcome.repro_path:
+                lines.append(f"    repro: {outcome.repro_path}")
+        return "\n".join(lines)
+
+
+def fuzz(
+    count: int = 100,
+    seed: int = 0,
+    faults_fraction: float = 0.25,
+    repro_dir: Optional[str] = "fuzz_repros",
+    minimize: bool = True,
+    invariants: bool = True,
+    scenarios: Optional[Sequence[Dict]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run the differential fuzzer (see module docs).
+
+    ``scenarios`` overrides generation (replaying saved repros);
+    ``repro_dir=None`` disables writing repro files; ``minimize=False``
+    records the raw divergent scenario instead of shrinking it first.
+    """
+    if scenarios is None:
+        scenarios = generate_scenarios(
+            count, seed=seed, faults_fraction=faults_fraction
+        )
+    report = FuzzReport(seed=seed)
+    for scenario in scenarios:
+        divergences = examine_scenario(scenario, invariants=invariants)
+        repro_path = None
+        if divergences:
+            repro = scenario
+            if minimize:
+                # A reduction "still fails" when it produces *any*
+                # divergence — a shrunk scenario that trips a
+                # different projection is still a bug witness.
+                repro = minimize_scenario(
+                    scenario,
+                    lambda candidate: bool(
+                        examine_scenario(candidate, invariants=invariants)
+                    ),
+                )
+                divergences = (
+                    examine_scenario(repro, invariants=invariants)
+                    or divergences
+                )
+            if repro_dir is not None:
+                repro_path = str(
+                    write_repro(
+                        repro, divergences, repro_dir, minimized=minimize
+                    )
+                )
+            if progress is not None:
+                progress(
+                    f"seed {scenario.get('seed')}: "
+                    + "; ".join(divergences)
+                )
+        report.outcomes.append(
+            ScenarioOutcome(
+                scenario=scenario,
+                divergences=tuple(divergences),
+                repro_path=repro_path,
+            )
+        )
+    return report
+
+
+def replay_repro(document: Dict, invariants: bool = True) -> List[str]:
+    """Re-examine a saved repro document; returns current divergences
+    (empty once the underlying bug is fixed)."""
+    return examine_scenario(
+        document["scenario"], invariants=invariants
+    )

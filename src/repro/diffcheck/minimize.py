@@ -1,0 +1,175 @@
+"""Greedy scenario minimization: shrink a failing fuzz case.
+
+Given a scenario document and a predicate ``is_failing(scenario) ->
+bool`` (usually "does the original divergence still reproduce?"),
+:func:`minimize_scenario` applies structural reductions — drop a
+node, halve a count, shorten a payload, drop the fault set — keeping
+any reduction under which the scenario still fails, until no
+reduction applies (a fixpoint).  The result is the small, stable JSON
+repro written to ``fuzz_repros/``.
+
+Reductions may produce *invalid* scenarios (e.g. removing the node a
+workload posts to); the predicate is expected to treat those as
+not-failing (both backends raising the same configuration error is
+consistent behaviour, not a divergence), so invalid candidates are
+naturally rejected.  The predicate is injectable precisely so tests
+can minimize against synthetic properties without running simulators.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List
+
+from repro.campaign.trial import canonical_json
+from repro.core.schema import REPORT_SCHEMA_VERSION
+from repro.diffcheck.generators import scenario_key
+
+#: Numeric workload fields worth halving toward their floor of 1.
+_COUNT_FIELDS = ("count", "edges")
+
+
+def _halved(value: int) -> List[int]:
+    """Candidate reductions of a count: half, then 1."""
+    candidates = []
+    if value > 1:
+        if value // 2 > 1:
+            candidates.append(value // 2)
+        candidates.append(1)
+    return candidates
+
+
+def _workload_reductions(workload: Dict) -> Iterator[Dict]:
+    """Shrink one workload document (recursing into combinations)."""
+    parts = workload.get("parts")
+    if isinstance(parts, list) and len(parts) > 1:
+        for i in range(len(parts)):
+            shrunk = copy.deepcopy(workload)
+            del shrunk["parts"][i]
+            if len(shrunk["parts"]) == 1:
+                yield shrunk["parts"][0]
+            else:
+                yield shrunk
+        for i, part in enumerate(parts):
+            for reduced in _workload_reductions(part):
+                shrunk = copy.deepcopy(workload)
+                shrunk["parts"][i] = reduced
+                yield shrunk
+        return
+    for field in _COUNT_FIELDS:
+        value = workload.get(field)
+        if isinstance(value, int):
+            for candidate in _halved(value):
+                shrunk = copy.deepcopy(workload)
+                shrunk[field] = candidate
+                yield shrunk
+    payload = workload.get("payload")
+    if isinstance(payload, str) and len(payload) > 2:
+        shrunk = copy.deepcopy(workload)
+        shrunk["payload"] = payload[: max(2, len(payload) // 2)]
+        yield shrunk
+    max_bytes = workload.get("max_bytes")
+    if isinstance(max_bytes, int) and max_bytes > 1:
+        shrunk = copy.deepcopy(workload)
+        shrunk["max_bytes"] = max(1, max_bytes // 2)
+        shrunk["min_bytes"] = 1
+        yield shrunk
+
+
+def _reductions(scenario: Dict) -> Iterator[Dict]:
+    """All one-step reductions of a scenario document."""
+    # 1. Drop the fault set entirely, or individual faults.
+    faults = scenario.get("faults")
+    if faults is not None:
+        shrunk = copy.deepcopy(scenario)
+        shrunk["faults"] = None
+        yield shrunk
+        fault_list = faults.get("faults", [])
+        if isinstance(fault_list, list) and len(fault_list) > 1:
+            for i in range(len(fault_list)):
+                shrunk = copy.deepcopy(scenario)
+                del shrunk["faults"]["faults"][i]
+                yield shrunk
+    # 2. Drop a non-mediator node.
+    nodes = scenario["system"].get("nodes", [])
+    if len(nodes) > 2:
+        for i, node in enumerate(nodes):
+            if node.get("is_mediator"):
+                continue
+            shrunk = copy.deepcopy(scenario)
+            del shrunk["system"]["nodes"][i]
+            yield shrunk
+    # 3. Shrink the workload.
+    for reduced in _workload_reductions(scenario["workload"]):
+        shrunk = copy.deepcopy(scenario)
+        shrunk["workload"] = reduced
+        yield shrunk
+
+
+def minimize_scenario(
+    scenario: Dict,
+    is_failing: Callable[[Dict], bool],
+    max_steps: int = 200,
+) -> Dict:
+    """Greedily reduce ``scenario`` while ``is_failing`` holds.
+
+    ``max_steps`` bounds accepted reductions (each accepted step
+    strictly shrinks the document, so this terminates regardless).
+    The input document is never mutated.
+    """
+    current = copy.deepcopy(scenario)
+    for _ in range(max_steps):
+        for candidate in _reductions(current):
+            try:
+                failing = is_failing(candidate)
+            except Exception:
+                failing = False   # a predicate crash is a rejection
+            if failing:
+                current = candidate
+                break
+        else:
+            break   # fixpoint: no reduction keeps it failing
+    return current
+
+
+def write_repro(
+    scenario: Dict,
+    divergences: List[str],
+    directory,
+    minimized: bool = True,
+) -> Path:
+    """Persist one failing scenario as a standalone JSON repro.
+
+    The filename is content-addressed (``repro_<key>.json``), so
+    re-finding the same minimized scenario is idempotent.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro_{scenario_key(scenario)}.json"
+    document = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "divergences": list(divergences),
+        "minimized": minimized,
+        "scenario": scenario,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path) -> Dict:
+    """Read a repro file back; returns the full document."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if "scenario" not in document:
+        raise ValueError(f"{path} is not a fuzz repro document")
+    return document
+
+
+def scenario_fingerprint(scenario: Dict) -> str:
+    """Canonical bytes of a scenario — for asserting two minimization
+    runs converged to the same repro."""
+    return canonical_json(
+        {k: v for k, v in scenario.items() if k != "seed"}
+    )

@@ -53,6 +53,7 @@ from repro.scenario.workload import (
     PostEvent,
     RandomTraffic,
     Workload,
+    register_workload_kind,
     workload_from_dict,
 )
 
@@ -100,5 +101,6 @@ __all__ = [
     "run",
     "select_backend",
     "sweep",
+    "register_workload_kind",
     "workload_from_dict",
 ]

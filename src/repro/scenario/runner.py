@@ -318,6 +318,7 @@ def run(
     timeout_s: Optional[float] = None,
     setup: Optional[Callable[[MBusSystem], Any]] = None,
     faults=None,
+    wall_timeout_s: Optional[float] = None,
 ) -> RunReport:
     """Execute ``workload`` on the system described by ``spec``.
 
@@ -333,7 +334,17 @@ def run(
     and rejects an explicit ``"fast"``; any ``faults`` argument,
     including an empty spec, attaches a
     :class:`~repro.faults.ReliabilityReport` to the result.
+
+    ``wall_timeout_s`` bounds *host* time: the event loop raises
+    :class:`~repro.core.errors.WallClockTimeout` (cooperatively,
+    checked every 256 events) once the budget is spent.  Campaign
+    executors convert this into a recorded ``timeout`` failure.
     """
+    wall_deadline = (
+        None
+        if wall_timeout_s is None
+        else time.perf_counter() + wall_timeout_s
+    )
     fault_spec = normalize_faults(faults)
     faults_active = bool(fault_spec)
     mode = select_backend(backend, trace, faults_active=faults_active)
@@ -358,7 +369,9 @@ def run(
         # is a *finding*, recorded as ``reliability.bus_idle``, not a
         # simulation error.
         system.run_until_idle(
-            timeout_s=timeout_s, require_idle=not faults_active
+            timeout_s=timeout_s,
+            require_idle=not faults_active,
+            wall_deadline=wall_deadline,
         )
     finally:
         if injector is not None:

@@ -360,6 +360,27 @@ _WORKLOAD_KINDS: Dict[str, type] = {
 }
 
 
+def register_workload_kind(cls: type) -> type:
+    """Register an out-of-tree :class:`Workload` subclass for
+    :func:`workload_from_dict` dispatch (e.g. the campaign layer's
+    chaos drill workload).  Returns ``cls`` so it can be used as a
+    decorator.  Re-registering the same class is a no-op; claiming an
+    existing kind with a different class is an error."""
+    if not (isinstance(cls, type) and issubclass(cls, Workload) and cls.kind):
+        raise ConfigurationError(
+            "register_workload_kind needs a Workload subclass with a "
+            f"non-empty 'kind', got {cls!r}"
+        )
+    existing = _WORKLOAD_KINDS.get(cls.kind)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"workload kind {cls.kind!r} is already registered to "
+            f"{existing.__name__}"
+        )
+    _WORKLOAD_KINDS[cls.kind] = cls
+    return cls
+
+
 def workload_from_dict(data: Dict, lenient: bool = False) -> Workload:
     """Rebuild a workload from :meth:`Workload.to_dict` output.
 

@@ -9,6 +9,7 @@ propagation is specified as at most 10 ns).
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, List, Optional
 
 #: Convenience time constants, all in integer picoseconds.
@@ -134,14 +135,28 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: int = 50_000_000,
+        wall_deadline: Optional[float] = None,
+    ) -> None:
         """Run until the queue drains, or until absolute time ``until``.
 
         ``max_events`` guards against runaway feedback loops (e.g. a
         combinational ring oscillating); hitting it raises
         :class:`SimulationError` rather than hanging the test suite.
+
+        ``wall_deadline`` is an absolute :func:`time.perf_counter`
+        instant; the loop polls it every 256 events and raises
+        :class:`~repro.core.errors.WallClockTimeout` once passed.  The
+        check is cooperative — a single long-running callback is not
+        preempted — which is exactly what campaign executors need: the
+        realistic hang is a simulation that keeps making progress, and
+        hard preemption belongs to the process executor's worker kill.
         """
         fired = 0
+        check_wall = wall_deadline is not None
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
@@ -156,6 +171,14 @@ class Simulator:
                 raise SimulationError(
                     f"exceeded {max_events} events; likely oscillation"
                 )
+            if check_wall and not fired & 255:
+                if time.perf_counter() > wall_deadline:
+                    from repro.core.errors import WallClockTimeout
+
+                    raise WallClockTimeout(
+                        f"simulation exceeded its wall-clock budget "
+                        f"after {fired} events at t={self._now} ps"
+                    )
         if until is not None and until > self._now:
             self._now = until
 

@@ -1,0 +1,204 @@
+"""Failure-as-data campaign execution: the PR's acceptance drill.
+
+A campaign whose trials raise, hang past their wall-clock budget and
+kill their worker process must complete end to end, recording a
+structured failure for exactly those trials — never aborting, never
+hanging, never losing the healthy trials.
+"""
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    ResultStore,
+    RetryPolicy,
+)
+from repro.campaign.chaos import Chaos
+from repro.scenario import NodeSpec, SystemSpec
+
+DRILL_SPEC = SystemSpec(
+    name="chaos-drill",
+    clock_hz=400_000.0,
+    nodes=(
+        NodeSpec("m", short_prefix=0x1, is_mediator=True),
+        NodeSpec("a", short_prefix=0x2),
+    ),
+)
+
+
+def chaos_campaign(behaviors, name="drill", **kwargs):
+    return Campaign(
+        spec=DRILL_SPEC,
+        workload=lambda p: Chaos(behavior=p["behavior"], **kwargs),
+        grid={"behavior": list(behaviors)},
+        backend="edge",
+        name=name,
+    )
+
+
+class TestSerialFailures:
+    def test_raising_trial_is_recorded_not_raised(self):
+        results = chaos_campaign(["ok", "raise"]).run(executor="serial")
+        assert len(results) == 2
+        ok, bad = results[0], results[1]
+        assert ok.ok and ok.outcome == "ok"
+        assert bad.outcome == "error"
+        assert bad.failure.error_type == "RuntimeError"
+        assert "injected deterministic failure" in bad.failure.message
+        assert not bad.failure.quarantined   # deterministic: no retry
+        assert bad.failure.attempts == 1
+
+    def test_transient_retries_then_quarantines(self):
+        results = chaos_campaign(["transient"]).run(
+            executor="serial",
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        )
+        failure = results[0].failure
+        assert failure.attempts == 3
+        assert failure.quarantined
+        assert failure.transient
+
+    def test_flaky_trial_recovers_on_retry(self, tmp_path):
+        results = chaos_campaign(
+            ["flaky"], token=str(tmp_path / "token")
+        ).run(
+            executor="serial",
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+        )
+        assert results[0].ok
+        assert (tmp_path / "token").exists()
+
+    def test_no_retry_policy_means_one_attempt(self):
+        results = chaos_campaign(["transient"]).run(
+            executor="serial", retry=RetryPolicy(max_attempts=1)
+        )
+        failure = results[0].failure
+        assert failure.attempts == 1
+        assert failure.quarantined   # retryable class, budget of one
+
+    def test_summary_and_table_surface_failures(self):
+        results = chaos_campaign(["ok", "raise"]).run(executor="serial")
+        assert "1 FAILED" in results.summary()
+        table = results.to_table()
+        assert "outcome" in table
+        assert "error" in table
+        assert results.failed == 1
+        assert results.quarantined == 0
+        assert [r.outcome for r in results.failures()] == ["error"]
+        assert [r.outcome for r in results.oks()] == ["ok"]
+
+
+class TestProcessExecutorDrill:
+    """The full acceptance bar: raise + hang + crash, one campaign."""
+
+    @pytest.fixture(scope="class")
+    def drill(self, tmp_path_factory):
+        store_dir = tmp_path_factory.mktemp("drill-store")
+        campaign = chaos_campaign(
+            ["ok", "raise", "hang", "crash"], name="acceptance"
+        )
+        results = campaign.run(
+            executor="process",
+            workers=4,
+            store=str(store_dir),
+            wall_timeout_s=1.0,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        return campaign, results, store_dir
+
+    def test_campaign_completes_with_exact_outcomes(self, drill):
+        _campaign, results, _store = drill
+        assert len(results) == 4
+        by_behavior = {
+            r.params["behavior"]: r.outcome for r in results
+        }
+        assert by_behavior == {
+            "ok": "ok",
+            "raise": "error",
+            "hang": "timeout",
+            "crash": "crashed",
+        }
+
+    def test_failures_are_structured_records(self, drill):
+        _campaign, results, _store = drill
+        by_behavior = {r.params["behavior"]: r for r in results}
+        hang = by_behavior["hang"].failure
+        assert "wall-clock" in hang.message
+        crash = by_behavior["crash"].failure
+        assert crash.outcome == "crashed"
+        assert by_behavior["raise"].failure.error_type == "RuntimeError"
+
+    def test_resume_serves_failures_from_cache(self, drill):
+        campaign, _results, store_dir = drill
+        resumed = campaign.run(
+            executor="serial", store=str(store_dir), wall_timeout_s=1.0
+        )
+        assert resumed.executed == 0
+        assert resumed.cached == 4
+        assert resumed.failed == 3
+
+    def test_retry_failed_reexecutes_only_failures(self, drill):
+        campaign, _results, store_dir = drill
+        # Wall budget for the hang trial keeps the re-run bounded.
+        resumed = campaign.run(
+            executor="process",
+            workers=4,
+            store=str(store_dir),
+            wall_timeout_s=1.0,
+            retry=RetryPolicy(max_attempts=1),
+            retry_failed=True,
+            retry_quarantined=True,
+        )
+        assert resumed.cached == 1    # the ok trial
+        assert resumed.executed == 3  # every failure re-ran
+
+    def test_status_counts_failures(self, drill):
+        campaign, _results, store_dir = drill
+        status = campaign.status(str(store_dir))
+        assert status.cached == 4
+        assert status.failed == 3
+        assert "3 FAILED" in status.summary()
+
+    def test_store_records_have_outcome_fields(self, drill):
+        campaign, _results, store_dir = drill
+        store = ResultStore(str(store_dir))
+        outcomes = sorted(
+            record.get("outcome", "ok") for record in store.records()
+        )
+        assert outcomes == ["crashed", "error", "ok", "timeout"]
+
+
+class TestWorkerCrashIsolation:
+    def test_crash_kills_worker_not_campaign(self):
+        # More healthy trials than workers, plus one poison trial:
+        # the pool must replace the dead worker and finish everything.
+        campaign = Campaign(
+            spec=DRILL_SPEC,
+            workload=lambda p: Chaos(behavior=p["behavior"]),
+            grid={"behavior": ["ok"] * 5 + ["crash"] + ["ok"] * 5},
+            backend="edge",
+            name="crash-isolation",
+        )
+        results = campaign.run(
+            executor="process",
+            workers=2,
+            dedupe=False,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        assert len(results) == 11
+        assert results.failed == 1
+        assert results.failures()[0].outcome == "crashed"
+        assert all(r.ok for r in results.oks())
+        assert len(results.oks()) == 10
+
+    def test_crash_retry_can_distinguish_poison_from_bad_luck(self):
+        # A deterministic crasher retried twice is quarantined.
+        results = chaos_campaign(["crash"]).run(
+            executor="process",
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+        )
+        failure = results[0].failure
+        assert failure.outcome == "crashed"
+        assert failure.attempts == 2
+        assert failure.quarantined

@@ -166,6 +166,100 @@ class TestCampaignCli:
         assert "no stored results" in capsys.readouterr().err
 
 
+class TestFailureCli:
+    """Failure-as-data surface: exit codes, --failed-only, compact."""
+
+    @pytest.fixture
+    def chaos_doc(self, tmp_path):
+        import json
+
+        doc = tmp_path / "chaos.json"
+        doc.write_text(json.dumps({
+            "name": "cli-chaos",
+            "system": {
+                "name": "cli-chaos",
+                "nodes": [
+                    {"name": "m", "short_prefix": 1, "is_mediator": True},
+                    {"name": "a", "short_prefix": 2},
+                ],
+            },
+            "workload": {"kind": "chaos", "behavior": "ok"},
+            "grid": {"workload.behavior": ["ok", "raise"]},
+            "retry": {"max_attempts": 1},
+        }))
+        return str(doc)
+
+    def test_run_exits_nonzero_when_any_trial_failed(
+        self, tmp_path, chaos_doc, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", chaos_doc, "--store", store]) == 1
+        out = capsys.readouterr().out
+        assert "1 FAILED" in out
+        assert "outcome" in out
+
+    def test_results_failed_only_and_exit_code(
+        self, tmp_path, chaos_doc, capsys
+    ):
+        import json
+
+        store = str(tmp_path / "store")
+        main(["campaign", "run", chaos_doc, "--store", store])
+        capsys.readouterr()
+        assert main([
+            "campaign", "results", chaos_doc, "--store", store,
+            "--failed-only", "--json",
+        ]) == 1
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["outcome"] == "error"
+
+    def test_status_reports_failures(self, tmp_path, chaos_doc, capsys):
+        store = str(tmp_path / "store")
+        main(["campaign", "run", chaos_doc, "--store", store])
+        capsys.readouterr()
+        assert main(["campaign", "status", chaos_doc,
+                     "--store", store]) == 0
+        assert "1 FAILED" in capsys.readouterr().out
+
+    def test_compact_subcommand(self, tmp_path, chaos_doc, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        main(["campaign", "run", chaos_doc, "--store", store])
+        main(["campaign", "run", chaos_doc, "--store", store,
+              "--retry-failed"])
+        capsys.readouterr()
+        assert main(["campaign", "compact", chaos_doc,
+                     "--store", store, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["live_records"] == 2
+
+    def test_compact_requires_store(self, chaos_doc, capsys):
+        assert main(["campaign", "compact", chaos_doc]) == 2
+        assert "--store" in capsys.readouterr().err
+
+
+class TestFuzzCli:
+    def test_bounded_fuzz_smoke(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--count", "2", "--seed", "11",
+            "--repro-dir", str(tmp_path / "repros"),
+        ]) == 0
+        assert "0 divergent" in capsys.readouterr().out
+
+    def test_fuzz_json_output(self, capsys):
+        import json
+
+        assert main([
+            "fuzz", "--count", "1", "--seed", "11", "--no-repros",
+            "--no-invariants", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_scenarios"] == 1
+        assert report["n_divergent"] == 0
+
+
 class TestProcessorSpec:
     def test_relay_energy_is_1nj(self):
         """50 cycles x 20 pJ = 1 nJ (Section 6.3.1)."""

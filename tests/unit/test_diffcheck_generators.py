@@ -1,0 +1,188 @@
+"""Diffcheck scenario generation and minimization (no simulators).
+
+The generator's contract is determinism: a scenario is a pure
+function of its seed, on every host, forever — that is what turns a
+fuzz finding into a repro.  The minimizer's contract is greedy
+reduction under an injectable predicate, which these tests exercise
+against synthetic properties so no simulation runs.
+"""
+
+import json
+
+from repro.diffcheck import (
+    CLOCK_CHOICES,
+    WORKLOAD_SHAPES,
+    generate_scenario,
+    generate_scenarios,
+    generate_system,
+    load_repro,
+    minimize_scenario,
+    scenario_fingerprint,
+    scenario_key,
+    write_repro,
+)
+from repro.faults.primitives import FaultSpec
+from repro.scenario.spec import SystemSpec
+from repro.scenario.workload import workload_from_dict
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        for seed in (0, 1, 7, 123456):
+            assert generate_scenario(seed) == generate_scenario(seed)
+
+    def test_documents_are_plain_json(self):
+        scenario = generate_scenario(3)
+        assert json.loads(json.dumps(scenario)) == scenario
+
+    def test_scenario_key_ignores_the_seed(self):
+        scenario = generate_scenario(9)
+        relabeled = dict(scenario, seed=999)
+        assert scenario_key(scenario) == scenario_key(relabeled)
+        assert len(scenario_key(scenario)) == 16
+
+    def test_fingerprint_ignores_the_seed(self):
+        scenario = generate_scenario(9)
+        assert scenario_fingerprint(scenario) == scenario_fingerprint(
+            dict(scenario, seed=999)
+        )
+
+    def test_generate_scenarios_counts_and_distinct_seeds(self):
+        scenarios = generate_scenarios(10, seed=4)
+        assert len(scenarios) == 10
+        assert len({s["seed"] for s in scenarios}) == 10
+
+
+class TestGeneratedSpace:
+    SEEDS = range(40)
+
+    def test_systems_are_valid_and_bounded(self):
+        for seed in self.SEEDS:
+            spec = generate_system(seed)
+            spec.validate()
+            assert 2 <= len(spec.nodes) <= 5
+            assert spec.clock_hz in CLOCK_CHOICES
+            assert sum(node.is_mediator for node in spec.nodes) == 1
+
+    def test_documents_reconstruct(self):
+        for seed in self.SEEDS:
+            scenario = generate_scenario(seed, faults_fraction=0.5)
+            SystemSpec.from_dict(scenario["system"]).validate()
+            workload = workload_from_dict(scenario["workload"])
+            assert workload.kind in WORKLOAD_SHAPES or workload.kind in (
+                "combined", "broadcast",
+            )
+            if scenario["faults"] is not None:
+                assert FaultSpec.from_dict(scenario["faults"]).faults
+
+    def test_faults_fraction_extremes(self):
+        clean = [
+            generate_scenario(seed, faults_fraction=0.0)
+            for seed in self.SEEDS
+        ]
+        assert all(s["faults"] is None for s in clean)
+        faulty = [
+            generate_scenario(seed, faults_fraction=1.0)
+            for seed in self.SEEDS
+        ]
+        assert any(s["faults"] is not None for s in faulty)
+
+
+def synthetic_scenario(count=6, n_members=4, with_faults=True):
+    spec = generate_system(17)
+    scenario = {
+        "seed": 17,
+        "system": {
+            "name": "synthetic",
+            "clock_hz": 400000.0,
+            "nodes": (
+                [{"name": "m0", "short_prefix": 1, "is_mediator": True}]
+                + [
+                    {"name": f"n{i + 1}", "short_prefix": 2 + i}
+                    for i in range(n_members)
+                ]
+            ),
+        },
+        "workload": {
+            "kind": "burst",
+            "source": "m0",
+            "dest": {"kind": "short", "prefix": 2, "address": 0},
+            "payload": "aabbccdd",
+            "count": count,
+            "gap_s": 0.0,
+        },
+        "faults": {
+            "faults": [
+                {"kind": "drop_edge", "node": "n1", "at_s": 0.001,
+                 "count": 1},
+            ],
+        } if with_faults else None,
+    }
+    del spec
+    return scenario
+
+
+class TestMinimizer:
+    def test_reduces_to_predicate_fixpoint(self):
+        # "Fails" whenever the burst still has >= 2 posts: the
+        # minimizer must shed the faults, the extra members and most
+        # of the count, but never go below 2 posts.
+        minimized = minimize_scenario(
+            synthetic_scenario(count=6, n_members=4),
+            lambda s: s["workload"].get("count", 0) >= 2,
+        )
+        assert minimized["faults"] is None
+        assert len(minimized["system"]["nodes"]) == 2
+        assert 2 <= minimized["workload"]["count"] < 6
+
+    def test_input_scenario_is_never_mutated(self):
+        scenario = synthetic_scenario()
+        frozen = json.loads(json.dumps(scenario))
+        minimize_scenario(scenario, lambda s: True)
+        assert scenario == frozen
+
+    def test_predicate_crash_is_a_rejection(self):
+        def fragile(candidate):
+            if len(candidate["system"]["nodes"]) < 5:
+                raise ValueError("cannot even evaluate this")
+            return True
+
+        minimized = minimize_scenario(
+            synthetic_scenario(n_members=4), fragile
+        )
+        # Node-dropping reductions all crash the predicate, so the
+        # node count must survive.
+        assert len(minimized["system"]["nodes"]) == 5
+
+    def test_never_failing_input_is_returned_unchanged(self):
+        scenario = synthetic_scenario()
+        assert minimize_scenario(scenario, lambda s: False) == scenario
+
+    def test_payload_and_fault_reductions(self):
+        minimized = minimize_scenario(
+            synthetic_scenario(),
+            lambda s: True,   # everything still "fails"
+        )
+        assert minimized["faults"] is None
+        assert len(minimized["workload"]["payload"]) <= 4
+        assert minimized["workload"]["count"] == 1
+
+
+class TestReproFiles:
+    def test_write_load_roundtrip(self, tmp_path):
+        scenario = synthetic_scenario()
+        path = write_repro(
+            scenario, ["delivery sets differ"], tmp_path, minimized=True
+        )
+        assert path.name == f"repro_{scenario_key(scenario)}.json"
+        document = load_repro(path)
+        assert document["scenario"] == json.loads(json.dumps(scenario))
+        assert document["divergences"] == ["delivery sets differ"]
+        assert document["minimized"] is True
+
+    def test_rewriting_the_same_scenario_is_idempotent(self, tmp_path):
+        scenario = synthetic_scenario()
+        first = write_repro(scenario, ["a"], tmp_path)
+        second = write_repro(scenario, ["a"], tmp_path)
+        assert first == second
+        assert len(list(tmp_path.iterdir())) == 1

@@ -1,0 +1,144 @@
+"""ResultStore compaction: bounding the append-only log.
+
+Last-write-wins appending leaves superseded lines behind; without
+compaction a cross-run retry loop (a flaky trial re-recorded every
+campaign run) grows ``results.jsonl`` without bound.  These tests pin
+the stale-line accounting, the explicit ``compact()`` rewrite, and
+the automatic compaction on load.
+"""
+
+import json
+
+from repro.campaign import RESULTS_FILENAME, ResultStore
+from repro.campaign.store import AUTO_COMPACT_MIN_STALE
+
+
+def record(key, stamp=0):
+    return {"key": key, "schema_version": 1, "report": {"stamp": stamp}}
+
+
+def log_lines(store_dir):
+    text = (store_dir / RESULTS_FILENAME).read_text()
+    return [line for line in text.splitlines() if line.strip()]
+
+
+class TestStaleAccounting:
+    def test_fresh_store_has_no_stale_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(record("a"))
+        store.put(record("b"))
+        assert store.stale_lines == 0
+
+    def test_identical_reput_stays_clean(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(record("a"))
+        store.put(record("a"))
+        assert store.stale_lines == 0
+        assert len(log_lines(tmp_path / "s")) == 1
+
+    def test_superseding_put_appends_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for stamp in range(4):
+            store.put(record("a", stamp))
+        assert len(store) == 1
+        assert store.stale_lines == 3
+        assert len(log_lines(tmp_path / "s")) == 4
+        # Last write wins both in memory and on reload.
+        assert store.get("a")["report"]["stamp"] == 3
+        reloaded = ResultStore(tmp_path / "s", auto_compact=False)
+        assert reloaded.get("a")["report"]["stamp"] == 3
+        assert reloaded.stale_lines == 3
+
+    def test_corrupt_interior_line_counts_as_stale(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(record("a"))
+        with open(store.results_path, "a") as handle:
+            handle.write("{this is not json\n")
+        store.put(record("b"))
+        reloaded = ResultStore(tmp_path / "s", auto_compact=False)
+        assert len(reloaded) == 2
+        assert reloaded.stale_lines == 1
+
+
+class TestCompact:
+    def test_compact_rewrites_to_live_records(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for stamp in range(5):
+            store.put(record("a", stamp))
+        store.put(record("b"))
+        assert store.compact() == 4
+        assert store.stale_lines == 0
+        lines = log_lines(tmp_path / "s")
+        assert len(lines) == 2
+        # First-seen key order and last-written content survive.
+        assert [json.loads(line)["key"] for line in lines] == ["a", "b"]
+        assert json.loads(lines[0])["report"]["stamp"] == 4
+        reloaded = ResultStore(tmp_path / "s")
+        assert reloaded.get("a")["report"]["stamp"] == 4
+        assert reloaded.get("b") is not None
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(record("a", 0))
+        store.put(record("a", 1))
+        assert store.compact() == 1
+        assert store.compact() == 0
+
+    def test_compact_drops_corrupt_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(record("a"))
+        with open(store.results_path, "a") as handle:
+            handle.write("not json at all\n")
+        reloaded = ResultStore(tmp_path / "s", auto_compact=False)
+        assert reloaded.compact() == 1
+        assert all(
+            json.loads(line) for line in log_lines(tmp_path / "s")
+        )
+
+    def test_memory_store_compact_is_a_noop(self):
+        store = ResultStore.memory()
+        store.put(record("a", 0))
+        store.put(record("a", 1))
+        assert store.compact() == 0
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(record("a", 0))
+        store.put(record("a", 1))
+        store.compact()
+        leftovers = [
+            p.name for p in (tmp_path / "s").iterdir()
+            if p.name != RESULTS_FILENAME
+        ]
+        assert leftovers == []
+
+
+class TestAutoCompaction:
+    def test_reopen_compacts_past_the_floor(self, tmp_path):
+        store = ResultStore(tmp_path / "s", auto_compact=False)
+        # One live record superseded well past the floor.
+        for stamp in range(AUTO_COMPACT_MIN_STALE + 2):
+            store.put(record("flaky", stamp))
+        assert store.stale_lines == AUTO_COMPACT_MIN_STALE + 1
+        reloaded = ResultStore(tmp_path / "s")   # auto_compact=True
+        assert reloaded.stale_lines == 0
+        assert len(log_lines(tmp_path / "s")) == 1
+        assert reloaded.get("flaky")["report"]["stamp"] == (
+            AUTO_COMPACT_MIN_STALE + 1
+        )
+
+    def test_small_stores_never_churn_disk(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for stamp in range(5):
+            store.put(record("a", stamp))
+        reloaded = ResultStore(tmp_path / "s")
+        # 4 stale < the floor: the log is left alone.
+        assert reloaded.stale_lines == 4
+        assert len(log_lines(tmp_path / "s")) == 5
+
+    def test_auto_compact_false_preserves_history(self, tmp_path):
+        store = ResultStore(tmp_path / "s", auto_compact=False)
+        for stamp in range(AUTO_COMPACT_MIN_STALE + 2):
+            store.put(record("flaky", stamp))
+        reloaded = ResultStore(tmp_path / "s", auto_compact=False)
+        assert reloaded.stale_lines == AUTO_COMPACT_MIN_STALE + 1
