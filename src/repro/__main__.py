@@ -37,10 +37,12 @@ Commands
     any reported trial failed.
 ``campaign compact CAMPAIGN.json --store DIR``
     Rewrite the store file, dropping superseded duplicate records.
-``fuzz [--count N] [--seed S] [--faults-fraction F] [--repro-dir DIR]``
-    Differential fuzzing: seeded scenarios cross-checked edge vs fast
-    plus invariant checks; divergent cases are minimized and written
-    as JSON repros.  Exits 1 on any divergence (the CI contract).
+``fuzz [--count N] [--seed S] [--faults-fraction F] [--repro-dir DIR] [--backends LIST]``
+    Differential fuzzing: seeded scenarios cross-checked across the
+    backend matrix (``--backends edge,fast,batch`` adds the compiled
+    tier; default edge vs fast) plus invariant checks; divergent
+    cases are minimized and written as JSON repros.  Exits 1 on any
+    divergence (the CI contract).
 ``reliability``
     Run the recovery-rate-vs-glitch-rate robustness study and print
     the figure.
@@ -59,6 +61,7 @@ import json
 import sys
 
 from repro.analysis import Series, ascii_chart, format_table
+from repro.scenario.runner import BACKEND_REGISTRY, BACKENDS, backend_help
 
 
 def _cmd_demo(args) -> int:
@@ -405,6 +408,24 @@ def _cmd_campaign(args) -> int:
 def _cmd_fuzz(args) -> int:
     from repro.diffcheck import fuzz
 
+    backends = tuple(
+        name.strip() for name in args.backends.split(",") if name.strip()
+    )
+    bad = [
+        name for name in backends
+        if name not in BACKEND_REGISTRY or BACKEND_REGISTRY[name].selector
+    ]
+    if bad or len(backends) < 2:
+        concrete = ", ".join(
+            name for name, info in BACKEND_REGISTRY.items()
+            if not info.selector
+        )
+        print(
+            f"fuzz: --backends needs two or more of: {concrete} "
+            f"(got {args.backends!r})",
+            file=sys.stderr,
+        )
+        return 2
     report = fuzz(
         count=args.count,
         seed=args.seed,
@@ -412,6 +433,7 @@ def _cmd_fuzz(args) -> int:
         repro_dir=None if args.no_repros else args.repro_dir,
         minimize=not args.no_minimize,
         invariants=not args.no_invariants,
+        backends=backends,
         progress=(
             None if args.json
             else lambda line: print(f"divergent: {line}", file=sys.stderr)
@@ -490,9 +512,9 @@ def main(argv=None) -> int:
         command.add_argument("scenario", help="path to a scenario JSON file")
         command.add_argument(
             "--backend",
-            choices=("auto", "edge", "fast"),
+            choices=BACKENDS,
             default="auto",
-            help="simulation backend (default: auto-select)",
+            help=f"simulation backend (default: auto). {backend_help()}",
         )
         command.add_argument(
             "--faults",
@@ -600,7 +622,8 @@ def main(argv=None) -> int:
         )
     fuzz_cmd = sub.add_parser(
         "fuzz",
-        help="differential fuzzing: edge vs fast plus invariant checks",
+        help="differential fuzzing across the backend matrix "
+             "(edge vs fast by default) plus invariant checks",
     )
     fuzz_cmd.add_argument(
         "--count", type=int, default=100,
@@ -625,6 +648,12 @@ def main(argv=None) -> int:
     fuzz_cmd.add_argument(
         "--no-minimize", action="store_true",
         help="record raw divergent scenarios instead of shrinking them",
+    )
+    fuzz_cmd.add_argument(
+        "--backends", default="edge,fast", metavar="LIST",
+        help="comma-separated backend matrix; the first entry is the "
+             "reference every other backend is diffed against "
+             "(e.g. edge,fast,batch; default: edge,fast)",
     )
     fuzz_cmd.add_argument(
         "--no-invariants", action="store_true",

@@ -1,0 +1,79 @@
+"""Content-addressed compiled-system cache.
+
+Campaign trials are content-addressed by the SHA-256 of their
+canonical documents (``repro.campaign.trial.Trial.key``); the spec
+document is one component of that key.  This cache addresses compiled
+systems by the same canonical-JSON digest of the spec document, so a
+campaign whose trials share a topology compiles it **once** — and,
+because the round-template cache lives on the
+:class:`~repro.batch.compiler.CompiledSystem` itself, later trials
+start with every round shape the earlier ones discovered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+from repro.batch.compiler import CompiledSystem
+from repro.scenario.spec import SystemSpec
+
+#: Bounded LRU: big enough for any realistic campaign mix, small
+#: enough that abandoned topologies (e.g. a long fuzz run) are evicted.
+MAX_ENTRIES = 64
+
+_lock = threading.Lock()
+_cache: "OrderedDict[str, CompiledSystem]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def spec_digest(spec: SystemSpec) -> str:
+    """SHA-256 of the spec's canonical JSON document (the same
+    serialisation Trial keys hash)."""
+    doc = json.dumps(
+        spec.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def compile_system_cached(spec: SystemSpec) -> CompiledSystem:
+    """Compile ``spec``, memoised by content digest."""
+    global _hits, _misses
+    key = spec_digest(spec)
+    with _lock:
+        csys = _cache.get(key)
+        if csys is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return csys
+    # Compile outside the lock (validation may raise; never poison it).
+    csys = CompiledSystem(spec)
+    with _lock:
+        _misses += 1
+        _cache[key] = csys
+        while len(_cache) > MAX_ENTRIES:
+            _cache.popitem(last=False)
+    return csys
+
+
+def cache_stats() -> dict:
+    with _lock:
+        return {
+            "entries": len(_cache),
+            "hits": _hits,
+            "misses": _misses,
+            "templates": sum(
+                len(csys.template_list) for csys in _cache.values()
+            ),
+        }
+
+
+def clear_cache() -> None:
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

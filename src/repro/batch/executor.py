@@ -1,0 +1,670 @@
+"""Batch executor: whole-campaign bus-round replay over flat arrays.
+
+The fast path realises each bus round as simulator events (a start, a
+few power-ons, a finalize).  This executor removes the event queue and
+the object graph entirely: it merges three integer streams — the
+compiled workload arrays, a single pending round-start slot, and a
+heap of pending auto-sleeps — in exactly the ``(time, seq)`` order the
+:class:`~repro.sim.scheduler.Simulator` would have used, and resolves
+each round from a **template**.
+
+A template is one round shape planned *once* at ``t0 = 0`` by the same
+analytic :func:`~repro.core.tlm_engine.plan_round` the fast path uses.
+Every timestamp the planner produces is ``t0``-linear (a constant
+offset from the round start for a fixed topology, request set, power
+state and pulser set), so a template keyed by
+
+    (sorted (position, message) requests,
+     sorted non-default power/interrupt states,
+     sorted pulser positions)
+
+replays at any ``t0`` by pure integer addition.  Campaign bursts
+resolve to a handful of templates executed thousands of times, which
+is where the tier-3 throughput comes from; the template cache lives on
+the :class:`~repro.batch.compiler.CompiledSystem`, so trials sharing a
+compiled spec share warm templates.
+
+Equivalence contract (enforced by ``tests/integration`` and the
+three-way diffcheck fuzz): byte-identical transaction signatures,
+delivery sets and wake counts versus the fast path.  The post-round
+choreography below — pulser exclusion, keep-earliest start merging,
+return-to-idle pumping, auto-sleep suppression by in-flight request
+falls — mirrors :class:`~repro.sim.fastpath.FastPathBackend` line for
+line; deviations are bugs, not optimisations.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from heapq import heappop, heappush
+from itertools import islice
+from typing import Dict, List, Optional, Tuple
+
+from repro.batch import accel
+from repro.batch.compiler import (
+    KIND_POST,
+    CompiledSystem,
+    CompiledWorkload,
+)
+from repro.core.bus import TransactionResult
+from repro.core.errors import BusLockedError, WallClockTimeout
+from repro.core.messages import ControlCode, ReceivedMessage
+from repro.core.tlm_engine import NodeRoundState, RoundContext, plan_round
+from repro.sim.scheduler import SimulationError
+
+#: Same runaway guard as ``Simulator.run(max_events=...)``.
+MAX_STEPS = 50_000_000
+
+
+class RoundTemplate:
+    """One planned round shape; every time field is a ``t0`` offset."""
+
+    __slots__ = (
+        "tid", "key", "winner", "message", "ok", "control", "general_error",
+        "error_reason", "clock_cycles", "control_cycles", "end_off",
+        "fin_off", "node_end_off", "end_order", "bus_wake", "layer_wake",
+        "rx", "rx_broadcast", "wire_row",
+    )
+
+    def __init__(self, tid: int, key: tuple, csys: CompiledSystem, plan) -> None:
+        self.tid = tid
+        self.key = key
+        self.winner = plan.winner
+        self.message = plan.message
+        self.control = plan.control
+        self.ok = (
+            plan.control is ControlCode.EOM_ACK and not plan.general_error
+        )
+        self.general_error = plan.general_error
+        self.error_reason = plan.error_reason
+        self.clock_cycles = plan.clock_cycles
+        self.control_cycles = plan.control_cycles
+        self.end_off = plan.end_ps
+        self.fin_off = max(plan.node_end_at.values())
+        self.node_end_off = tuple(
+            plan.node_end_at[q] for q in range(csys.n)
+        )
+        self.end_order = tuple(
+            sorted(plan.node_end_at, key=plan.node_end_at.get)
+        )
+        self.bus_wake = tuple(plan.bus_wake_at.items())
+        self.layer_wake = tuple(
+            (pos, at) for pos, (at, _reason) in plan.layer_wake_at.items()
+        )
+        self.rx = tuple(
+            (csys.names[d.position], d.payload, d.control, d.arrived_at_ps)
+            for d in plan.rx
+            if d.delivered
+        )
+        self.rx_broadcast = (
+            plan.message is not None and plan.message.dest.is_broadcast
+        )
+        self.wire_row = tuple(
+            plan.wire_activity.get(q, 0) for q in range(csys.n)
+        )
+
+
+class BatchResult:
+    """Raw executor output, before report materialisation."""
+
+    __slots__ = (
+        "round_log", "hit_counts", "end_ps", "steps",
+        "bus_on_ps", "layer_on_ps", "bus_wakeups", "layer_wakeups",
+    )
+
+    def __init__(self, round_log, hit_counts, end_ps, steps,
+                 bus_on_ps, layer_on_ps, bus_wakeups, layer_wakeups):
+        self.round_log = round_log            # [(t0, RoundTemplate), ...]
+        self.hit_counts = hit_counts          # {tid: executions this run}
+        self.end_ps = end_ps
+        self.steps = steps
+        self.bus_on_ps = bus_on_ps            # per-position totals
+        self.layer_on_ps = layer_on_ps
+        self.bus_wakeups = bus_wakeups
+        self.layer_wakeups = layer_wakeups
+
+
+class BatchExecutor:
+    """Merge-loop executor over one compiled (system, workload) pair."""
+
+    def __init__(self, csys: CompiledSystem, cwl: CompiledWorkload) -> None:
+        self.csys = csys
+        self.cwl = cwl
+        n = csys.n
+        self.queues: List[deque] = [deque() for _ in range(n)]
+        self.backlog: set = set()
+        self.pulsers: set = set()
+        self.pending = [False] * n
+        self.pending_set: set = set()
+        # Power state; non-gated domains come up at t=0 exactly like
+        # PowerDomain construction ("not-power-gated" → wake_count 1).
+        self.bus_on = [g == 0 for g in csys.power_gated]
+        self.layer_on = [g == 0 for g in csys.power_gated]
+        self.bus_since = [0] * n
+        self.layer_since = [0] * n
+        self.bus_total = [0] * n
+        self.layer_total = [0] * n
+        self.bus_wakes = [0 if g else 1 for g in csys.power_gated]
+        self.layer_wakes = [0 if g else 1 for g in csys.power_gated]
+        # Positions whose (bus, layer, pending) state differs from the
+        # always-on default — the only ones a template key must name.
+        self.dirty: set = {p for p in range(n) if csys.power_gated[p]}
+        self.gated_auto = tuple(
+            p for p in range(n)
+            if csys.power_gated[p] and csys.auto_sleep[p]
+        )
+        # Event sources.  Workload events occupy seqs [0, len) — they
+        # were "scheduled" before the run, so at equal timestamps they
+        # fire before anything scheduled at runtime, exactly like the
+        # event-loop runner.  Runtime seqs count up from len(cwl).
+        self.wi = 0
+        self.wl_n = len(cwl)
+        self.seq = self.wl_n
+        self.start_t0: Optional[int] = None
+        self.start_seq = 0
+        self.sleeps: List[Tuple[int, int, int]] = []
+        self.now = 0
+        self.steps = 0
+        self.until: Optional[int] = None
+        self.max_steps = MAX_STEPS
+        self.round_log: List[Tuple[int, RoundTemplate]] = []
+        self.hit_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Main merge loop.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[int] = None,
+        wall_deadline: Optional[float] = None,
+        max_steps: int = MAX_STEPS,
+    ) -> BatchResult:
+        wl_t, wl_pos, wl_kind, wl_ref = (
+            self.cwl.t_ps, self.cwl.pos, self.cwl.kind, self.cwl.ref
+        )
+        self.until = until
+        self.max_steps = max_steps
+        check_wall = wall_deadline is not None
+        sleeps = self.sleeps
+        while True:
+            if self.wi < self.wl_n:
+                best_t, best_seq, src = wl_t[self.wi], self.wi, 1
+            else:
+                best_t = best_seq = None
+                src = 0
+            start_t0 = self.start_t0
+            if start_t0 is not None and (
+                src == 0
+                or start_t0 < best_t
+                or (start_t0 == best_t and self.start_seq < best_seq)
+            ):
+                best_t, best_seq, src = start_t0, self.start_seq, 2
+            if sleeps:
+                sleep_t, sleep_seq, _p = sleeps[0]
+                if (
+                    src == 0
+                    or sleep_t < best_t
+                    or (sleep_t == best_t and sleep_seq < best_seq)
+                ):
+                    best_t, best_seq, src = sleep_t, sleep_seq, 3
+            if src == 0:
+                break
+            if until is not None and best_t > until:
+                break
+            self.steps += 1
+            if self.steps > max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} events; likely oscillation"
+                )
+            if check_wall and not self.steps & 255:
+                if _time.perf_counter() > wall_deadline:
+                    raise WallClockTimeout(
+                        f"batch execution exceeded its wall-clock budget "
+                        f"after {self.steps} steps at t={best_t} ps"
+                    )
+            self.now = best_t
+            if src == 1:
+                i = self.wi
+                self.wi += 1
+                if wl_kind[i] == KIND_POST:
+                    self._post(best_t, wl_pos[i], wl_ref[i])
+                else:
+                    self._interrupt(best_t, wl_pos[i])
+            elif src == 2:
+                self.start_t0 = None
+                self._run_round(best_t)
+            else:
+                _t, _s, p = heappop(sleeps)
+                self._auto_sleep(best_t, p)
+        # Simulator.run(until=...) leaves now == until whether the
+        # queue drained or stopped at the horizon.
+        end_ps = until if until is not None and until > self.now else self.now
+        if not self._is_idle():
+            raise BusLockedError(
+                "bus did not return to idle: traffic still queued "
+                "on the batch backend"
+            )
+        bus_on_ps = list(self.bus_total)
+        layer_on_ps = list(self.layer_total)
+        for p in range(self.csys.n):
+            if self.bus_on[p]:
+                bus_on_ps[p] += end_ps - self.bus_since[p]
+            if self.layer_on[p]:
+                layer_on_ps[p] += end_ps - self.layer_since[p]
+        return BatchResult(
+            round_log=self.round_log,
+            hit_counts=self.hit_counts,
+            end_ps=end_ps,
+            steps=self.steps,
+            bus_on_ps=bus_on_ps,
+            layer_on_ps=layer_on_ps,
+            bus_wakeups=list(self.bus_wakes),
+            layer_wakeups=list(self.layer_wakes),
+        )
+
+    def _is_idle(self) -> bool:
+        return (
+            self.start_t0 is None
+            and not self.backlog
+            and not self.pending_set
+        )
+
+    # ------------------------------------------------------------------
+    # Out-of-round event handlers (post / interrupt / auto-sleep).
+    # ------------------------------------------------------------------
+    def _refresh(self, p: int) -> None:
+        if self.bus_on[p] and self.layer_on[p] and not self.pending[p]:
+            self.dirty.discard(p)
+        else:
+            self.dirty.add(p)
+
+    def _post(self, t: int, p: int, ref: int) -> None:
+        self.queues[p].append(ref)
+        self.backlog.add(p)
+        if self.bus_on[p] and self.layer_on[p]:
+            csys = self.csys
+            trigger = t + csys.settle_ps + (
+                0 if p == 0 else csys.topology.member_to_mediator(p)
+            )
+            self._schedule_start(trigger + csys.timing.mediator_wakeup_ps)
+        else:
+            self._raise_pulse(t, p)
+
+    def _interrupt(self, t: int, p: int) -> None:
+        self.pending[p] = True
+        self.pending_set.add(p)
+        self.dirty.add(p)
+        self._raise_pulse(t, p)
+
+    def _raise_pulse(self, t: int, p: int) -> None:
+        self.pending[p] = True
+        self.pending_set.add(p)
+        self.dirty.add(p)
+        self.pulsers.add(p)
+        csys = self.csys
+        trigger = t + csys.topology.member_to_mediator(p)
+        self._schedule_start(trigger + csys.timing.mediator_wakeup_ps)
+
+    def _schedule_start(self, t0: int) -> None:
+        # Keep-earliest merge of the single start slot; a reschedule
+        # takes a fresh seq like the cancelled-and-replaced event.
+        if self.start_t0 is not None and self.start_t0 <= t0:
+            return
+        self.start_t0 = t0
+        self.seq += 1
+        self.start_seq = self.seq
+
+    def _auto_sleep(self, t: int, p: int) -> None:
+        if self.queues[p] or self.pending[p]:
+            return
+        if self.layer_on[p]:
+            self.layer_on[p] = False
+            self.layer_total[p] += t - self.layer_since[p]
+        if self.bus_on[p]:
+            self.bus_on[p] = False
+            self.bus_total[p] += t - self.bus_since[p]
+        self.dirty.add(p)
+
+    # ------------------------------------------------------------------
+    # Round execution.
+    # ------------------------------------------------------------------
+    def _template(self) -> RoundTemplate:
+        csys = self.csys
+        bus_on, layer_on = self.bus_on, self.layer_on
+        pulsers = self.pulsers
+        queues = self.queues
+        # Requests keyed by the system-interned message id: integer-
+        # only keys, stable across every trial sharing this csys.
+        req_items = tuple(
+            (p, queues[p][0])
+            for p in sorted(self.backlog)
+            if bus_on[p] and layer_on[p] and p not in pulsers
+        )
+        dirty = self.dirty
+        state_key = tuple(sorted(
+            (p, bus_on[p], layer_on[p], self.pending[p])
+            for p in dirty
+        )) if dirty else ()
+        key = (
+            req_items,
+            state_key,
+            tuple(sorted(pulsers)) if pulsers else (),
+        )
+        tpl = csys.templates.get(key)
+        if tpl is None:
+            messages = csys.message_table
+            states = {
+                q: NodeRoundState(
+                    bus_on=bus_on[q],
+                    layer_on=layer_on[q],
+                    pending_interrupt=self.pending[q],
+                    is_pulser=q in pulsers,
+                )
+                for q in range(csys.n)
+            }
+            plan = plan_round(RoundContext(
+                topology=csys.topology,
+                t0=0,
+                requests={p: messages[r] for p, r in req_items},
+                states=states,
+                anchor_pos=csys.anchor_pos,
+                max_message_bytes=csys.max_message_bytes,
+            ))
+            tpl = RoundTemplate(len(csys.template_list), key, csys, plan)
+            csys.templates[key] = tpl
+            csys.template_list.append(tpl)
+        return tpl
+
+    def _run_round(self, t0: int) -> None:
+        csys = self.csys
+        tpl = self._template()
+        self.pulsers.clear()
+        fin_t = t0 + tpl.fin_off
+        # Hierarchical wakeups, applied eagerly: nothing reads power
+        # state again until the round has finished.
+        for p, off in tpl.bus_wake:
+            self.bus_on[p] = True
+            self.bus_wakes[p] += 1
+            self.bus_since[p] = t0 + off
+            self.steps += 1
+            self._refresh(p)
+        for p, off in tpl.layer_wake:
+            self.layer_on[p] = True
+            self.layer_wakes[p] += 1
+            self.layer_since[p] = t0 + off
+            self.steps += 1
+            self._refresh(p)
+        # Workload arriving while the round is in flight is absorbed
+        # passively (post/interrupt on an active fast path only queue).
+        wl_t, wl_pos, wl_kind, wl_ref = (
+            self.cwl.t_ps, self.cwl.pos, self.cwl.kind, self.cwl.ref
+        )
+        while self.wi < self.wl_n and wl_t[self.wi] <= fin_t:
+            i = self.wi
+            self.wi += 1
+            self.steps += 1
+            p = wl_pos[i]
+            if wl_kind[i] == KIND_POST:
+                self.queues[p].append(wl_ref[i])
+                self.backlog.add(p)
+            else:
+                self.pending[p] = True
+                self.pending_set.add(p)
+                self.dirty.add(p)
+        # Auto-sleeps that fire inside the round are no-ops there (the
+        # backend is busy); they predate this round's finalize, so any
+        # heap entry at or before fin_t is spent.
+        while self.sleeps and self.sleeps[0][0] <= fin_t:
+            heappop(self.sleeps)
+            self.steps += 1
+        # Finalize.
+        self.steps += 1
+        queues = self.queues
+        backlog = self.backlog
+        if tpl.winner is not None:
+            queue = queues[tpl.winner]
+            queue.popleft()
+            if not queue:
+                backlog.discard(tpl.winner)
+        self.round_log.append((t0, tpl))
+        self.hit_counts[tpl.tid] = self.hit_counts.get(tpl.tid, 0) + 1
+        bus_on, layer_on = self.bus_on, self.layer_on
+        pending, pending_set = self.pending, self.pending_set
+        # Interrupt servicing at each node's observed transaction end.
+        if pending_set:
+            for p in tpl.end_order:
+                if pending[p] and bus_on[p] and layer_on[p]:
+                    pending[p] = False
+                    pending_set.discard(p)
+                    self._refresh(p)
+        # Re-arm queued traffic (FastPathBackend._pump_after_round,
+        # inlined: this runs once per round on the hot path).
+        topology = csys.topology
+        settle = csys.settle_ps
+        return_to_idle = (
+            t0 + tpl.end_off + 2 * csys.timing.ring_delay_ps(csys.n)
+        )
+        candidates: List[int] = []
+        request_falls: Dict[int, int] = {}
+        node_end_off = tpl.node_end_off
+        actors = (
+            sorted(backlog) if not pending_set
+            else sorted(backlog | pending_set)
+        )
+        for p in actors:
+            t_end = t0 + node_end_off[p]
+            if bus_on[p] and layer_on[p] and queues[p]:
+                if p == 0:
+                    candidates.append(t_end + settle)
+                else:
+                    request_falls[p] = t_end + settle
+                    arrival = (
+                        t_end + settle + topology.member_to_mediator(p)
+                    )
+                    candidates.append(max(arrival, return_to_idle))
+            else:
+                pending[p] = True
+                pending_set.add(p)
+                self.dirty.add(p)
+                self.pulsers.add(p)
+                request_falls[p] = t_end + settle
+                arrival = t_end + settle + topology.member_to_mediator(p)
+                candidates.append(max(arrival, return_to_idle))
+        if candidates:
+            self._schedule_start(
+                min(candidates) + csys.timing.mediator_wakeup_ps
+            )
+        # Auto-sleep scheduling (FastPathBackend's per-round sleep
+        # timers, inlined).  Another node's request fall reaching a
+        # node before its settle expires cancels the sleep (the node
+        # rides into the next round without a fresh wakeup).
+        hop = topology.hop_delay
+        for p in self.gated_auto:
+            if queues[p] or pending[p]:
+                continue
+            at = t0 + node_end_off[p] + settle
+            if at < fin_t:
+                at = fin_t
+            suppressed = False
+            for q, tq in request_falls.items():
+                if q != p and tq + hop(q, p) <= at:
+                    suppressed = True
+                    break
+            if suppressed:
+                continue
+            self.seq += 1
+            heappush(self.sleeps, (at, self.seq, p))
+        self.now = fin_t
+        # Steady-state replay: when the round leaves the system in a
+        # state that reproduces it — one active requester, no pending
+        # pulses, no dirty power state — each following identical-
+        # message round is this template shifted by a constant period,
+        # so a whole run of them resolves with integer arithmetic
+        # instead of re-entering the merge loop per round.  Two shapes
+        # qualify: the all-on steady state (fleet campaigns), and the
+        # wake/sleep limit cycle (the fig14 burst: one gated receiver
+        # wakes for each delivery and auto-sleeps between rounds).
+        w = tpl.winner
+        start_t0 = self.start_t0
+        if (
+            w is None
+            or start_t0 is None
+            or pending_set
+            or self.pulsers
+            or self.dirty
+            or backlog != {w}
+        ):
+            return
+        sleeps = self.sleeps
+        queue = queues[w]
+        head = queue[0]
+        if sleeps:
+            # Limit-cycle shape: exactly one gated node sleeps between
+            # rounds and is rewoken by each delivery.  The sleep must
+            # genuinely fire before the next start (strictly earlier),
+            # and the template must wake exactly that node.
+            if len(sleeps) != 1:
+                return
+            t_sl, _sseq, p_s = sleeps[0]
+            if (
+                p_s == w
+                or t_sl >= start_t0
+                or len(tpl.bus_wake) != 1
+                or len(tpl.layer_wake) != 1
+                or tpl.bus_wake[0][0] != p_s
+                or tpl.layer_wake[0][0] != p_s
+                or tpl.key != (
+                    ((w, head),), ((p_s, False, False, False),), ()
+                )
+            ):
+                return
+            # sleep + start + two wakes + finalize per cycle.
+            steps_per = 5
+        else:
+            if tpl.bus_wake or tpl.layer_wake:
+                return
+            if tpl.key != (((w, head),), (), ()):
+                return
+            p_s = None
+            steps_per = 2     # start dispatch + finalize per round
+        delta = start_t0 - t0
+        if delta <= 0:
+            return
+        # Bound the window: stay inside the horizon, stop before any
+        # round that would absorb a workload event (absorption uses
+        # ``<= fin_t``, hence the strict inequality), and always leave
+        # one queued message so the closing round runs the full
+        # post-round choreography — its pump decides what the steady
+        # state suppresses or schedules next.
+        k = len(queue) - 1
+        if self.until is not None:
+            k = min(k, (self.until - t0) // delta)
+        if self.wi < self.wl_n:
+            te = wl_t[self.wi]
+            k = min(k, (te - t0 - tpl.fin_off - 1) // delta)
+        if k <= 0:
+            return
+        run_len = 0
+        for r in islice(queue, k):
+            if r != head:
+                break
+            run_len += 1
+        k = run_len
+        if k <= 0:
+            return
+        self.steps += steps_per * k
+        if self.steps > self.max_steps:
+            raise SimulationError(
+                f"exceeded {self.max_steps} events; likely oscillation"
+            )
+        log_append = self.round_log.append
+        s = t0
+        for _ in range(k):
+            s += delta
+            log_append((s, tpl))
+            queue.popleft()
+        self.hit_counts[tpl.tid] += k
+        self.seq += 1
+        self.start_t0 = s + delta
+        self.start_seq = self.seq
+        if p_s is not None:
+            # Each cycle the sleeper is on from its wake offset until
+            # the sleep instant — a constant span — and both domains
+            # wake exactly once.  Leave the node powered with a fresh
+            # pending sleep, exactly as round k's pump would have.
+            off_b = tpl.bus_wake[0][1]
+            off_l = tpl.layer_wake[0][1]
+            d_sleep = t_sl - t0
+            self.bus_total[p_s] += k * (d_sleep - off_b)
+            self.layer_total[p_s] += k * (d_sleep - off_l)
+            self.bus_wakes[p_s] += k
+            self.layer_wakes[p_s] += k
+            self.bus_since[p_s] = s + off_b
+            self.layer_since[p_s] = s + off_l
+            self.seq += 1
+            sleeps[0] = (s + d_sleep, self.seq, p_s)
+        self.now = s + tpl.fin_off
+
+
+# ----------------------------------------------------------------------
+# Report materialisation.
+# ----------------------------------------------------------------------
+def materialize(csys: CompiledSystem, result: BatchResult):
+    """Expand a round log into the event-loop backends' report shape:
+    (transactions, power report, wire activity)."""
+    names = csys.names
+    transactions: List[TransactionResult] = []
+    append = transactions.append
+    for index, (t0, tpl) in enumerate(result.round_log):
+        rx_deliveries = []
+        if tpl.message is not None and tpl.rx:
+            dest = tpl.message.dest
+            broadcast = tpl.rx_broadcast
+            rx_deliveries = [
+                (
+                    name,
+                    ReceivedMessage(
+                        source_hint="",
+                        dest=dest,
+                        payload=payload,
+                        broadcast=broadcast,
+                        control=control,
+                        arrived_at_ps=t0 + arr_off,
+                    ),
+                )
+                for name, payload, control, arr_off in tpl.rx
+            ]
+        append(TransactionResult(
+            index=index,
+            ok=tpl.ok,
+            control=tpl.control,
+            tx_node=None if tpl.winner is None else names[tpl.winner],
+            message=tpl.message,
+            rx_deliveries=rx_deliveries,
+            clock_cycles=tpl.clock_cycles,
+            control_cycles=tpl.control_cycles,
+            start_ps=t0,
+            end_ps=t0 + tpl.end_off,
+            general_error=tpl.general_error,
+            error_reason=tpl.error_reason,
+        ))
+    power = {}
+    for name in csys.spec_order_names:
+        p = csys.position_of[name]
+        power[name] = {
+            "bus_on_s": result.bus_on_ps[p] / 1e12,
+            "layer_on_s": result.layer_on_ps[p] / 1e12,
+            "bus_wakeups": result.bus_wakeups[p],
+            "layer_wakeups": result.layer_wakeups[p],
+        }
+    tids = sorted(result.hit_counts)
+    if tids:
+        totals = accel.weighted_sum_rows(
+            [csys.template_list[tid].wire_row for tid in tids],
+            [result.hit_counts[tid] for tid in tids],
+        )
+    else:
+        totals = [0] * csys.n
+    wire = {names[p]: totals[p] for p in range(csys.n)}
+    return transactions, power, wire

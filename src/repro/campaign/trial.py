@@ -20,9 +20,9 @@ what buys every property the campaign layer promises:
 
 The executed outcome is a *record*: a JSON document holding the
 trial's key, parameters and the :meth:`RunReport.to_dict` report with
-its ``wall_s`` field removed (wall-clock noise must never enter a
-content-addressed record — two byte-identical runs would otherwise
-hash the weather of the host machine).  Wall time is reported
+its ``wall_s`` / ``wall_throughput_tps`` fields removed (wall-clock
+noise must never enter a content-addressed record — two byte-identical
+runs would otherwise hash the weather of the host machine).  Wall time is reported
 separately, per execution, on the
 :class:`~repro.campaign.resultset.TrialResult`.
 """
@@ -134,6 +134,7 @@ def trial_record(trial: Trial, report_doc: Dict) -> Dict:
     """
     doc = dict(report_doc)
     doc.pop("wall_s", None)
+    doc.pop("wall_throughput_tps", None)
     return {
         "schema_version": REPORT_SCHEMA_VERSION,
         "key": trial.key,

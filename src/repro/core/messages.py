@@ -45,10 +45,13 @@ class ControlCode(enum.Enum):
 
     @staticmethod
     def from_bits(bit0: int, bit1: int) -> "ControlCode":
-        for code in ControlCode:
-            if code.value == (bit0, bit1):
-                return code
-        raise ProtocolError(f"no control code for bits ({bit0}, {bit1})")
+        code = _CODE_BY_BITS.get((bit0, bit1))
+        if code is None:
+            raise ProtocolError(f"no control code for bits ({bit0}, {bit1})")
+        return code
+
+
+_CODE_BY_BITS = {code.value: code for code in ControlCode}
 
 
 def pad_to_byte(bits: Tuple[int, ...]) -> Tuple[int, ...]:

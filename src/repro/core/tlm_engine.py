@@ -181,20 +181,28 @@ def matches(node: TLMNode, address: Address) -> bool:
     )
 
 
-def nearest_upstream(
-    n: int, drivers: Dict[int, int], q: int, parked: int = 1
-) -> int:
-    """Value node ``q`` samples on its DATA-in pad.
+def sample_ring(
+    n: int, drivers: Dict[int, int], parked: int = 1
+) -> List[int]:
+    """Value every node samples on its DATA-in pad.
 
-    Walk upstream from ``q - 1``; the first driving node's value wins.
-    A node driving its own output is reached last (a full wrap).  With
-    no drivers anywhere the line holds its parked value.
+    Node ``q`` sees the nearest driving node walking upstream from
+    ``q - 1``; a node driving its own output is reached last (a full
+    wrap).  With no drivers anywhere the line holds its parked value.
+    One O(n) sweep instead of a walk per node: seed with the highest-
+    position driver (the nearest upstream of position 0 after the
+    wrap), then assign before each position overwrites with its own
+    drive — which is exactly "self is reached last".
     """
-    for i in range(1, n + 1):
-        pos = (q - i) % n
-        if pos in drivers:
-            return drivers[pos]
-    return parked
+    if not drivers:
+        return [parked] * n
+    cur = drivers[max(drivers)]
+    out = [parked] * n
+    for q in range(n):
+        out[q] = cur
+        if q in drivers:
+            cur = drivers[q]
+    return out
 
 
 def resolve_arbitration(
@@ -404,7 +412,7 @@ def plan_round(ctx: RoundContext) -> TransactionPlan:
     if aborted:
         for pos in overruns:
             slot1[pos] = 0                    # incomplete: abort
-    bit0 = {q: nearest_upstream(n, slot1, q) for q in range(n)}
+    bit0 = sample_ring(n, slot1)
 
     slot2: Dict[int, int] = {}
     if runaway:
@@ -418,7 +426,7 @@ def plan_round(ctx: RoundContext) -> TransactionPlan:
         else:
             ack = 0
         slot2[pos] = ack
-    bit1 = {q: nearest_upstream(n, slot2, q) for q in range(n)}
+    bit1 = sample_ring(n, slot2)
 
     codes = {q: ControlCode.from_bits(bit0[q], bit1[q]) for q in range(n)}
 

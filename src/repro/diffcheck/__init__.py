@@ -12,7 +12,8 @@ claim into an adversarial search:
   (replay determinism, empty-fault-spec no-op, payload conservation,
   bitbang feasibility);
 * :mod:`~repro.diffcheck.harness` — :func:`fuzz`: generate, execute
-  on both backends, diff, and report;
+  across the backend matrix (``backends=("edge", "fast", "batch")``
+  adds the compiled batch tier), diff against the reference, report;
 * :mod:`~repro.diffcheck.minimize` — greedy delta-debugging of any
   divergent scenario down to a small standalone JSON repro in
   ``fuzz_repros/``.
@@ -49,6 +50,7 @@ from repro.diffcheck.generators import (
     scenario_key,
 )
 from repro.diffcheck.harness import (
+    DEFAULT_BACKENDS,
     FuzzReport,
     ScenarioOutcome,
     examine_scenario,
@@ -64,6 +66,7 @@ from repro.diffcheck.minimize import (
 
 __all__ = [
     "CLOCK_CHOICES",
+    "DEFAULT_BACKENDS",
     "FuzzReport",
     "ScenarioOutcome",
     "WORKLOAD_SHAPES",

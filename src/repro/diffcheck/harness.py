@@ -1,17 +1,20 @@
 """The differential fuzzing harness: generate, run, diff, minimize.
 
 :func:`fuzz` drives the whole loop: seeded scenarios from
-:mod:`~repro.diffcheck.generators`, executed cross-backend (edge vs
-fast for clean scenarios; edge-only replay for faulty ones, since the
-fast path has no wires to disturb), diffed under the projections in
+:mod:`~repro.diffcheck.generators`, executed across a backend matrix
+(edge vs fast by default; ``backends=("edge", "fast", "batch")`` for
+the three-way tier check; faulty scenarios replay edge-only, since the
+other tiers have no wires to disturb), diffed under the projections in
 :mod:`~repro.diffcheck.checks`, and any divergent scenario greedily
 minimized (:mod:`~repro.diffcheck.minimize`) and written to
 ``fuzz_repros/`` as a standalone JSON repro.
 
-Error symmetry: both backends raising the *same exception type* for a
-scenario is consistent semantics (e.g. an over-long message rejected
-everywhere), not a divergence — only asymmetric outcomes (one raises,
-one answers; or different error types) count.
+The first backend in the matrix is the *reference*; every other
+backend is diffed pairwise against it.  Error symmetry: reference and
+challenger raising the *same exception type* for a scenario is
+consistent semantics (e.g. an over-long message rejected everywhere),
+not a divergence — only asymmetric outcomes (one raises, one answers;
+or different error types) count.
 
 ``python -m repro fuzz`` is a thin CLI over :func:`fuzz`; CI runs it
 with a fixed seed and a bounded scenario count and fails on any
@@ -35,57 +38,98 @@ from repro.diffcheck.generators import generate_scenarios, scenario_key
 from repro.diffcheck.minimize import minimize_scenario, write_repro
 
 
-def _run_pair(scenario: Dict) -> Tuple[object, object, List[str]]:
-    """Run a clean scenario on both backends.
+#: The default differential matrix.  The first entry is the reference
+#: backend every challenger is diffed against.
+DEFAULT_BACKENDS: Tuple[str, ...] = ("edge", "fast")
 
-    Returns ``(edge_report, fast_report, divergences)`` — reports are
-    None when that backend raised.  Symmetric same-type errors are
-    consistent; asymmetric outcomes are divergences.
+
+def _run_matrix(
+    scenario: Dict, backends: Sequence[str]
+) -> Tuple[Dict[str, object], List[str]]:
+    """Run a clean scenario on every backend in the matrix.
+
+    Returns ``(reports, divergences)`` — ``reports`` maps backend
+    name to its :class:`RunReport` (absent when that backend raised).
+    Each challenger is compared to the reference (``backends[0]``):
+    symmetric same-type errors are consistent; asymmetric outcomes
+    are divergences.
     """
     outcomes = {}
-    for backend in ("edge", "fast"):
+    for backend in backends:
         try:
             outcomes[backend] = ("ok", _run_scenario(scenario, backend))
         except Exception as exc:   # any failure class is data here
             outcomes[backend] = ("err", type(exc).__name__)
-    (edge_kind, edge_value) = outcomes["edge"]
-    (fast_kind, fast_value) = outcomes["fast"]
-    if edge_kind == "ok" and fast_kind == "ok":
-        return edge_value, fast_value, []
-    if edge_kind == "err" and fast_kind == "err":
-        if edge_value == fast_value:
-            return None, None, []   # consistent refusal
-        return None, None, [
-            f"backends raise differently: edge={edge_value}, "
-            f"fast={fast_value}"
-        ]
-    raised, answered = (
-        ("edge", "fast") if edge_kind == "err" else ("fast", "edge")
-    )
-    detail = edge_value if edge_kind == "err" else fast_value
-    return None, None, [
-        f"{raised} backend raises {detail} but {answered} answers"
-    ]
+    reports = {
+        backend: value
+        for backend, (kind, value) in outcomes.items()
+        if kind == "ok"
+    }
+    reference = backends[0]
+    ref_kind, ref_value = outcomes[reference]
+    divergences: List[str] = []
+    for backend in backends[1:]:
+        kind, value = outcomes[backend]
+        if ref_kind == "ok" and kind == "ok":
+            continue
+        if ref_kind == "err" and kind == "err":
+            if ref_value != value:   # else: consistent refusal
+                divergences.append(
+                    f"backends raise differently: {reference}="
+                    f"{ref_value}, {backend}={value}"
+                )
+            continue
+        raised, answered = (
+            (reference, backend) if ref_kind == "err"
+            else (backend, reference)
+        )
+        detail = ref_value if ref_kind == "err" else value
+        divergences.append(
+            f"{raised} backend raises {detail} but {answered} answers"
+        )
+    return reports, divergences
 
 
-def examine_scenario(scenario: Dict, invariants: bool = True) -> List[str]:
+def examine_scenario(
+    scenario: Dict,
+    invariants: bool = True,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+) -> List[str]:
     """All divergences for one scenario (empty = healthy).
 
-    Clean scenarios get the full battery: cross-backend diff,
-    conservation, and (with ``invariants=True``) replay determinism
-    and the empty-fault-spec no-op.  Faulty scenarios force the edge
-    engine, so they get replay determinism only.
+    Clean scenarios get the full battery: cross-backend diff of every
+    challenger against the reference (``backends[0]``), conservation,
+    and (with ``invariants=True``) replay determinism and the
+    empty-fault-spec no-op.  Faulty scenarios force the edge engine,
+    so they get replay determinism only.
     """
+    backends = tuple(backends)
+    if not backends:
+        raise ValueError("backends must name at least one backend")
     divergences = list(check_bitbang_feasibility(scenario))
     if scenario.get("faults") is None:
-        edge, fast, errors = _run_pair(scenario)
+        reference = backends[0]
+        reports, errors = _run_matrix(scenario, backends)
         divergences += errors
-        if edge is not None and fast is not None:
-            divergences += diff_reports(edge, fast)
-            divergences += check_conservation(scenario, edge)
+        ref_report = reports.get(reference)
+        for backend in backends[1:]:
+            challenger = reports.get(backend)
+            if ref_report is None or challenger is None:
+                continue
+            pair = diff_reports(ref_report, challenger)
+            if len(backends) > 2:
+                pair = [
+                    f"[{reference} vs {backend}] {d}" for d in pair
+                ]
+            divergences += pair
+        if ref_report is not None:
+            divergences += check_conservation(scenario, ref_report)
         if invariants:
-            divergences += check_replay_determinism(scenario, "fast")
-            divergences += check_fault_free_noop(scenario, "edge")
+            for backend in backends[1:]:
+                divergences += check_replay_determinism(
+                    scenario, backend
+                )
+            divergences += check_fault_free_noop(scenario, backends[0])
     else:
         divergences += check_replay_determinism(scenario, "edge")
     return divergences
@@ -118,6 +162,7 @@ class FuzzReport:
 
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
     seed: int = 0
+    backends: Tuple[str, ...] = DEFAULT_BACKENDS
 
     @property
     def n_scenarios(self) -> int:
@@ -138,6 +183,7 @@ class FuzzReport:
     def to_dict(self) -> Dict:
         return {
             "seed": self.seed,
+            "backends": list(self.backends),
             "n_scenarios": self.n_scenarios,
             "n_divergent": len(self.divergent),
             "divergent": [
@@ -153,7 +199,8 @@ class FuzzReport:
 
     def summary(self) -> str:
         lines = [
-            f"fuzz: {self.n_scenarios} scenario(s) from seed {self.seed} — "
+            f"fuzz: {self.n_scenarios} scenario(s) from seed {self.seed} "
+            f"across {'/'.join(self.backends)} — "
             f"{len(self.divergent)} divergent"
         ]
         for outcome in self.divergent:
@@ -176,20 +223,25 @@ def fuzz(
     invariants: bool = True,
     scenarios: Optional[Sequence[Dict]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
 ) -> FuzzReport:
     """Run the differential fuzzer (see module docs).
 
     ``scenarios`` overrides generation (replaying saved repros);
     ``repro_dir=None`` disables writing repro files; ``minimize=False``
-    records the raw divergent scenario instead of shrinking it first.
+    records the raw divergent scenario instead of shrinking it first;
+    ``backends`` sets the matrix (first entry is the reference).
     """
+    backends = tuple(backends)
     if scenarios is None:
         scenarios = generate_scenarios(
             count, seed=seed, faults_fraction=faults_fraction
         )
-    report = FuzzReport(seed=seed)
+    report = FuzzReport(seed=seed, backends=backends)
     for scenario in scenarios:
-        divergences = examine_scenario(scenario, invariants=invariants)
+        divergences = examine_scenario(
+            scenario, invariants=invariants, backends=backends
+        )
         repro_path = None
         if divergences:
             repro = scenario
@@ -200,11 +252,17 @@ def fuzz(
                 repro = minimize_scenario(
                     scenario,
                     lambda candidate: bool(
-                        examine_scenario(candidate, invariants=invariants)
+                        examine_scenario(
+                            candidate,
+                            invariants=invariants,
+                            backends=backends,
+                        )
                     ),
                 )
                 divergences = (
-                    examine_scenario(repro, invariants=invariants)
+                    examine_scenario(
+                        repro, invariants=invariants, backends=backends
+                    )
                     or divergences
                 )
             if repro_dir is not None:

@@ -34,9 +34,13 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.core.errors import ConfigurationError
 from repro.scenario.runner import (
+    BACKEND_REGISTRY,
+    BACKEND_TABLE,
     BACKENDS,
+    BackendInfo,
     RunReport,
     SweepPoint,
+    backend_help,
     run,
     select_backend,
     sweep,
@@ -82,7 +86,11 @@ def load_scenario(
 
 
 __all__ = [
+    "BACKEND_REGISTRY",
+    "BACKEND_TABLE",
     "BACKENDS",
+    "BackendInfo",
+    "backend_help",
     "Broadcast",
     "Burst",
     "Combined",

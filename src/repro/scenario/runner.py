@@ -10,12 +10,24 @@ Backend selection (``backend=``)
 --------------------------------
 * ``"edge"`` / ``"fast"`` — force the edge-accurate engine or the
   transaction-level fast path.
+* ``"batch"`` — the tier-3 compiled executor (:mod:`repro.batch`):
+  the spec and workload are lowered to flat arrays and whole
+  bus-round sequences execute without simulator or node objects.
+  Fastest by a wide margin for large campaigns; no ``setup`` hooks,
+  tracing or fault injection.
 * ``"auto"`` (default) — tracing implies ``"edge"`` (the fast path
   never toggles nets, so there is nothing to trace); otherwise the
-  throughput-oriented ``"fast"`` backend is chosen.  The two are
+  throughput-oriented ``"fast"`` backend is chosen.  ``auto`` never
+  resolves to ``"batch"`` — opting into the compiled tier is always
+  explicit, keeping campaign trial keys stable.  All tiers are
   result-equivalent for message-granularity workloads (enforced by
-  ``tests/integration/test_scenario_runner.py``), so ``auto`` only
-  ever changes speed, not answers.
+  ``tests/integration/`` and the :mod:`repro.diffcheck` fuzzer), so
+  ``auto`` only ever changes speed, not answers.
+
+The backend registry below is table-driven: :data:`BACKEND_TABLE` is
+the single source of truth for names, capabilities and help text, and
+``BACKENDS``, :func:`select_backend` errors and the CLI ``--backend``
+options all derive from it.
 
 Parameter studies live in :mod:`repro.campaign` (grids, pluggable
 executors, content-addressed caching, queryable results); the old
@@ -48,33 +60,97 @@ from repro.scenario.workload import (
 
 PS_PER_S = 1_000_000_000_000
 
-BACKENDS = ("auto", "edge", "fast")
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """One row of the backend registry.
+
+    ``selector`` marks pseudo-backends that resolve to a concrete tier
+    (only ``"auto"``).  Capability flags gate :func:`select_backend`
+    and :func:`run` validation; ``description`` feeds CLI help.
+    """
+
+    name: str
+    description: str
+    selector: bool = False
+    supports_trace: bool = False
+    supports_faults: bool = False
+    supports_setup: bool = False
+
+
+#: Single source of truth for backend registration: ``BACKENDS``,
+#: the :func:`select_backend` error message and the CLI ``--backend``
+#: choices/help all derive from this table.
+BACKEND_TABLE: Tuple[BackendInfo, ...] = (
+    BackendInfo(
+        "auto",
+        "pick for me: edge when tracing or injecting faults, else fast",
+        selector=True,
+        supports_trace=True,
+        supports_faults=True,
+        supports_setup=True,
+    ),
+    BackendInfo(
+        "edge",
+        "edge-accurate engine (every CLK/DATA transition; golden "
+        "reference, tracing, faults)",
+        supports_trace=True,
+        supports_faults=True,
+        supports_setup=True,
+    ),
+    BackendInfo(
+        "fast",
+        "transaction-level fast path (closed-form rounds, ~2 events "
+        "per transaction)",
+        supports_setup=True,
+    ),
+    BackendInfo(
+        "batch",
+        "tier-3 compiled executor (flat arrays, round templates; "
+        "fleet-scale campaigns)",
+    ),
+)
+
+BACKEND_REGISTRY: Dict[str, BackendInfo] = {
+    info.name: info for info in BACKEND_TABLE
+}
+
+BACKENDS = tuple(BACKEND_REGISTRY)
+
+
+def backend_help() -> str:
+    """One-line-per-backend help text for CLI ``--backend`` options."""
+    return "; ".join(
+        f"{info.name}: {info.description}" for info in BACKEND_TABLE
+    )
 
 
 def select_backend(
     backend: str = "auto", trace: bool = False, faults_active: bool = False
 ) -> str:
-    """Resolve ``backend`` to a concrete MBusSystem mode.
+    """Resolve ``backend`` to a concrete execution tier.
 
     An *active* (non-empty) fault set forces the edge engine: faults
-    disturb wires and power domains, which the transaction-level fast
-    path does not model.  Requesting ``"fast"`` with active faults is
-    a hard error rather than a silent downgrade; an empty
+    disturb wires and power domains, which neither the transaction-
+    level fast path nor the compiled batch tier models.  Requesting a
+    backend without fault support while faults are active is a hard
+    error rather than a silent downgrade; an empty
     :class:`FaultSpec` never constrains the choice.
     """
-    if backend not in BACKENDS:
+    info = BACKEND_REGISTRY.get(backend)
+    if info is None:
         raise ConfigurationError(
             f"backend must be one of {BACKENDS}, not {backend!r}"
         )
-    if faults_active and backend == "fast":
+    if faults_active and not info.supports_faults:
         raise ConfigurationError(
-            "fault injection requires the edge-accurate backend: the fast "
-            "path has no wires or mid-transaction power state to disturb; "
-            "use backend='edge' or 'auto'"
+            "fault injection requires the edge-accurate backend: the "
+            f"{info.name!r} path has no wires or mid-transaction power "
+            "state to disturb; use backend='edge' or 'auto'"
         )
-    if backend == "auto":
+    if info.selector:
         return "edge" if (trace or faults_active) else "fast"
-    if trace and backend == "fast":
+    if trace and not info.supports_trace:
         raise ConfigurationError(
             "tracing requires the edge backend; use backend='edge' or 'auto'"
         )
@@ -187,6 +263,19 @@ class RunReport:
             return 0.0
         return self.delivered_payload_bits / self.sim_time_s
 
+    @property
+    def wall_throughput_tps(self) -> float:
+        """Transactions resolved per *wall-clock* second.
+
+        The host-side rate (all transactions, not just successful
+        ones): this is what backend tiering changes, so it is the
+        number that makes batch-vs-fast speedups visible in
+        ``summary()`` output and benchmark JSON.
+        """
+        if self.wall_s <= 0:
+            return 0.0
+        return self.n_transactions / self.wall_s
+
     def energy_pj(self, model: Optional[MeasuredEnergyModel] = None) -> float:
         """Message energy of the completed traffic (Section 6.2 model)."""
         model = model or MeasuredEnergyModel()
@@ -235,6 +324,7 @@ class RunReport:
             "wall_s": self.wall_s,
             "events_processed": self.events_processed,
             "throughput_tps": self.throughput_tps,
+            "wall_throughput_tps": self.wall_throughput_tps,
             "goodput_bps": self.goodput_bps,
             "energy_pj": energy_pj,
             "energy_per_delivered_bit_pj": energy_pj / bits if bits else 0.0,
@@ -271,7 +361,8 @@ class RunReport:
             f"  simulated {self.sim_time_s * 1e3:.3f} ms of bus time in "
             f"{self.wall_s * 1e3:.1f} ms wall "
             f"({self.events_processed} events)",
-            f"  throughput: {self.throughput_tps:,.0f} txn/s; "
+            f"  throughput: {self.throughput_tps:,.0f} txn/s sim "
+            f"({self.wall_throughput_tps:,.0f} txn/s wall); "
             f"goodput: {self.goodput_bps / 1e3:,.1f} kbit/s",
             f"  energy: {energy_pj / 1e3:.2f} nJ "
             f"({energy_pj / bits if bits else 0.0:.1f} pJ per delivered bit)",
@@ -348,6 +439,21 @@ def run(
     fault_spec = normalize_faults(faults)
     faults_active = bool(fault_spec)
     mode = select_backend(backend, trace, faults_active=faults_active)
+    if mode == "batch":
+        if setup is not None:
+            raise ConfigurationError(
+                "setup hooks attach code to a live MBusSystem; the batch "
+                "backend never builds one — use backend='edge' or 'fast'"
+            )
+        if fault_spec is not None:
+            raise ConfigurationError(
+                "reliability analytics require a live system; the batch "
+                "backend never builds one — drop faults= or use "
+                "backend='edge' or 'fast'"
+            )
+        return _run_batch(
+            spec, workload, timeout_s=timeout_s, wall_deadline=wall_deadline
+        )
     system = spec.build(mode=mode, trace=trace)
     injector = None
     if faults_active:
@@ -400,6 +506,53 @@ def run(
         faults=fault_spec,
         reliability=reliability,
         system=system,
+    )
+
+
+def _run_batch(
+    spec: SystemSpec,
+    workload,
+    timeout_s: Optional[float],
+    wall_deadline: Optional[float],
+) -> RunReport:
+    """The tier-3 path of :func:`run`: compile, execute, materialise.
+
+    Compilation sits outside the timed window (it is the analogue of
+    ``spec.build()`` + workload compilation, which the event-loop
+    backends also do before their clock starts) and is memoised by
+    spec content digest, so a campaign compiles each topology once.
+    """
+    from repro.batch import (
+        BatchExecutor,
+        compile_system_cached,
+        compile_workload,
+        materialize,
+    )
+
+    schedule = _compile(workload, spec)
+    csys = compile_system_cached(spec)
+    cwl = compile_workload(schedule, csys)
+    # Matches run_until_idle's horizon arithmetic (sim starts at 0).
+    until = None if timeout_s is None else int(timeout_s * 1e12)
+    start = time.perf_counter()
+    result = BatchExecutor(csys, cwl).run(
+        until=until, wall_deadline=wall_deadline
+    )
+    transactions, power, wire = materialize(csys, result)
+    wall_s = time.perf_counter() - start
+    return RunReport(
+        backend="batch",
+        spec=spec,
+        transactions=transactions,
+        power=power,
+        wire_activity=wire,
+        sim_time_s=result.end_ps / PS_PER_S,
+        wall_s=wall_s,
+        events_processed=result.steps,
+        workload=workload if isinstance(workload, Workload) else None,
+        faults=None,
+        reliability=None,
+        system=None,
     )
 
 

@@ -1,0 +1,317 @@
+"""Unit tests for the tier-3 batch compiler, accel seam and caches.
+
+The compiler lowers specs and schedules to flat integer arrays; these
+tests pin the node-table layout (mediator-rooted rotation, ``-1``
+sentinels), message interning, scheduler-compatible time quantization,
+validation-error parity with the event-loop backends, the numpy/python
+accel equivalence, the content-addressed compiled-system cache, and
+the table-driven backend registry.
+"""
+
+import pytest
+
+from repro.batch import (
+    KIND_INTERRUPT,
+    KIND_POST,
+    CompiledSystem,
+    accel,
+    cache_stats,
+    clear_cache,
+    compile_system_cached,
+    compile_workload,
+    spec_digest,
+)
+from repro.core import Address
+from repro.core.errors import ConfigurationError
+from repro.scenario import (
+    BACKEND_REGISTRY,
+    BACKENDS,
+    Burst,
+    Interrupt,
+    NodeSpec,
+    OneShot,
+    SystemSpec,
+    backend_help,
+    run,
+    select_backend,
+)
+
+
+def three_chip(**kwargs):
+    return SystemSpec(
+        name="three-chip",
+        nodes=(
+            NodeSpec("sensor", short_prefix=0x2, power_gated=True),
+            NodeSpec("cpu", short_prefix=0x1, is_mediator=True),
+            NodeSpec("radio", short_prefix=0x3, power_gated=True),
+        ),
+        **kwargs,
+    )
+
+
+class TestCompiledSystem:
+    def test_mediator_rooted_rotation(self):
+        csys = CompiledSystem(three_chip())
+        # The mediator rotates to position 0; ring order is preserved.
+        assert csys.names == ("cpu", "radio", "sensor")
+        assert csys.spec_order_names == ("sensor", "cpu", "radio")
+        assert csys.position_of == {"cpu": 0, "radio": 1, "sensor": 2}
+        assert csys.short_prefixes == (0x1, 0x3, 0x2)
+        assert csys.power_gated == (0, 1, 1)
+        assert csys.n == 3
+
+    def test_full_prefix_sentinel_and_auto_sleep_default(self):
+        spec = SystemSpec(
+            name="full",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("f", full_prefix=0xAB0CD, power_gated=True),
+            ),
+        )
+        csys = CompiledSystem(spec)
+        assert csys.short_prefixes == (0x1, -1)
+        assert csys.full_prefixes == (-1, 0xAB0CD)
+        # auto_sleep defaults to the node's power gating.
+        assert csys.auto_sleep == (0, 1)
+
+    def test_template_cache_starts_empty_and_is_mutable(self):
+        csys = CompiledSystem(three_chip())
+        assert csys.templates == {}
+        assert csys.template_list == []
+
+    def test_anchor_resolution(self):
+        spec = SystemSpec(
+            name="anchored",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0x2),
+            ),
+            arbitration_anchor="a",
+        )
+        assert CompiledSystem(spec).anchor_pos == 1
+        # Anchoring at the mediator is the default: no override.
+        spec_m = SystemSpec(
+            name="anchored-m",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0x2),
+            ),
+            arbitration_anchor="m",
+        )
+        assert CompiledSystem(spec_m).anchor_pos is None
+
+
+class TestValidationParity:
+    """The compiler must refuse exactly what MBusSystem refuses —
+    same exception type, same message — so error symmetry holds in
+    the differential harness."""
+
+    def _parity(self, spec, workload):
+        with pytest.raises(ConfigurationError) as edge_err:
+            run(spec, workload, backend="edge")
+        with pytest.raises(ConfigurationError) as batch_err:
+            run(spec, workload, backend="batch")
+        assert str(edge_err.value) == str(batch_err.value)
+
+    def test_duplicate_short_prefix(self):
+        spec = SystemSpec(
+            name="dup",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0x2),
+                NodeSpec("b", short_prefix=0x2),
+            ),
+        )
+        self._parity(spec, OneShot("m", Address.short(0x2, 5), b"\x01"))
+
+    def test_reserved_short_prefix(self):
+        spec = SystemSpec(
+            name="reserved",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0xF),
+            ),
+        )
+        self._parity(spec, OneShot("m", Address.short(0x1, 5), b"\x01"))
+
+    def test_short_address_budget(self):
+        spec = SystemSpec(
+            name="crowded",
+            nodes=tuple(
+                [NodeSpec("m", short_prefix=0x1, is_mediator=True)]
+                + [
+                    NodeSpec(f"n{i}", short_prefix=0x2 + i)
+                    for i in range(14)
+                ]
+            ),
+        )
+        self._parity(spec, OneShot("m", Address.short(0x2, 5), b"\x01"))
+
+    def test_prefixless_member(self):
+        spec = SystemSpec(
+            name="prefixless",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("ghost"),
+            ),
+        )
+        self._parity(spec, OneShot("m", Address.short(0x1, 5), b"\x01"))
+
+    def test_gated_anchor(self):
+        spec = SystemSpec(
+            name="gated-anchor",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0x2, power_gated=True),
+            ),
+            arbitration_anchor="a",
+        )
+        self._parity(spec, OneShot("m", Address.short(0x2, 5), b"\x01"))
+
+    def test_unknown_workload_source(self):
+        self._parity(
+            three_chip(), OneShot("nobody", Address.short(0x2, 5), b"\x01")
+        )
+
+
+class TestCompiledWorkload:
+    def test_arrays_and_interning(self):
+        spec = three_chip()
+        csys = CompiledSystem(spec)
+        workload = (
+            Burst("cpu", Address.short(0x2, 5), b"\xAA", count=3)
+            + Interrupt("radio", at_s=0.02)
+        )
+        cwl = compile_workload(workload.compile(spec), csys)
+        assert len(cwl) == 4
+        assert cwl.kind == (
+            KIND_POST, KIND_POST, KIND_POST, KIND_INTERRUPT,
+        )
+        # Three identical posts intern to a single message...
+        assert len(cwl.messages) == 1
+        assert cwl.ref == (0, 0, 0, -1)
+        # ...and positions are mediator-rooted (cpu=0, radio=1).
+        assert cwl.pos == (0, 0, 0, 1)
+
+    def test_quantization_matches_event_loop_runner(self):
+        spec = three_chip()
+        csys = CompiledSystem(spec)
+        workload = OneShot(
+            "cpu", Address.short(0x2, 5), b"\x01", at_s=0.0123456789
+        )
+        cwl = compile_workload(workload.compile(spec), csys)
+        assert cwl.t_ps == (int(round(0.0123456789 * 1e12)),)
+
+
+class TestAccelSeam:
+    """Both implementations must agree integer-for-integer."""
+
+    @pytest.fixture
+    def both(self):
+        def call(fn, *args):
+            original = accel.backend_name()
+            try:
+                accel.configure(force="python")
+                python = fn(*args)
+                try:
+                    accel.configure(force="numpy")
+                except ImportError:
+                    pytest.skip("numpy not installed")
+                numpy = fn(*args)
+            finally:
+                accel.configure(force=original)
+            return python, numpy
+
+        return call
+
+    def test_quantize_times_equivalence(self, both):
+        # Includes a half-way case: round-half-even must agree.
+        seconds = [0.0, 1e-12, 0.0123456789, 2.5e-12, 3.5e-12] * 3
+        python, numpy = both(accel.quantize_times, seconds, 10**12)
+        assert python == numpy
+        assert python == [int(round(s * 10**12)) for s in seconds]
+
+    def test_prefix_sums_equivalence(self, both):
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        python, numpy = both(accel.prefix_sums, values)
+        assert python == numpy == [3, 4, 8, 9, 14, 23, 25, 31, 36, 39]
+
+    def test_weighted_sum_rows_equivalence(self, both):
+        rows = [[i + j for j in range(9)] for i in range(8)]
+        weights = list(range(1, 9))
+        python, numpy = both(accel.weighted_sum_rows, rows, weights)
+        assert python == numpy
+        assert python[0] == sum(w * r[0] for w, r in zip(weights, rows))
+
+    def test_env_var_opt_out(self, monkeypatch):
+        original = accel.backend_name()
+        try:
+            monkeypatch.setenv("REPRO_BATCH_NUMPY", "0")
+            assert accel.configure() == "python"
+        finally:
+            accel.configure(force=original)
+
+
+class TestCompiledSystemCache:
+    def test_content_addressed_reuse(self):
+        clear_cache()
+        spec = three_chip()
+        first = compile_system_cached(spec)
+        # A *different* spec object with equal content hits the cache.
+        second = compile_system_cached(
+            SystemSpec.from_dict(spec.to_dict())
+        )
+        assert first is second
+        stats = cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        clear_cache()
+        assert cache_stats()["entries"] == 0
+
+    def test_digest_is_canonical(self):
+        spec = three_chip()
+        assert spec_digest(spec) == spec_digest(
+            SystemSpec.from_dict(spec.to_dict())
+        )
+
+    def test_validation_errors_do_not_poison_cache(self):
+        clear_cache()
+        bad = SystemSpec(
+            name="dup",
+            nodes=(
+                NodeSpec("m", short_prefix=0x1, is_mediator=True),
+                NodeSpec("a", short_prefix=0x2),
+                NodeSpec("b", short_prefix=0x2),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            compile_system_cached(bad)
+        assert cache_stats()["entries"] == 0
+
+
+class TestBackendRegistry:
+    def test_registry_drives_backends_tuple(self):
+        assert BACKENDS == tuple(BACKEND_REGISTRY)
+        assert set(BACKENDS) == {"auto", "edge", "fast", "batch"}
+
+    def test_backend_help_mentions_every_backend(self):
+        text = backend_help()
+        for name in BACKENDS:
+            assert f"{name}:" in text
+
+    def test_batch_is_explicit_never_auto(self):
+        assert select_backend("batch") == "batch"
+        assert select_backend("auto") == "fast"
+        assert select_backend("auto", trace=True) == "edge"
+
+    def test_unknown_backend_lists_the_registry(self):
+        with pytest.raises(ConfigurationError) as err:
+            select_backend("warp")
+        assert str(BACKENDS) in str(err.value)
+
+    def test_batch_rejects_trace_and_faults(self):
+        with pytest.raises(ConfigurationError, match="trac"):
+            select_backend("batch", trace=True)
+        with pytest.raises(ConfigurationError, match="edge"):
+            select_backend("batch", faults_active=True)
