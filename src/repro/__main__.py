@@ -46,6 +46,14 @@ Commands
 ``reliability``
     Run the recovery-rate-vs-glitch-rate robustness study and print
     the figure.
+``lint [PATH] [--select PASS,...] [--format text|json] [--list]``
+    Static analysis: AST-based determinism & invariant passes over
+    the repro sources (see :mod:`repro.lint`).  Exits 0 on a clean
+    tree, 1 with file:line findings.
+
+Every subcommand documents its exit codes in its ``--help`` epilog;
+the shared convention is 0 success, 1 findings/failures reported,
+2 usage error, 130 interrupted (campaign runs checkpoint first).
 
 Scenario documents are JSON files with ``system`` / ``workload``
 (and, for ``sweep``, a ``sweep`` grid) keys; fault documents hold a
@@ -446,6 +454,20 @@ def _cmd_fuzz(args) -> int:
     return report.exit_code
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import cli as lint_cli
+
+    forwarded = []
+    if args.path is not None:
+        forwarded.append(args.path)
+    if args.select is not None:
+        forwarded.extend(["--select", args.select])
+    if args.list_passes:
+        forwarded.append("--list")
+    forwarded.extend(["--format", args.format])
+    return lint_cli.main(forwarded)
+
+
 def _cmd_reliability(args) -> int:
     from repro.analysis.reliability import recovery_vs_glitch_rate
 
@@ -489,11 +511,17 @@ def main(argv=None) -> int:
         prog="repro", description="MBus (ISCA 2015) reproduction tools"
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    demo = sub.add_parser("demo", help="run a three-chip transaction")
-    sub.add_parser("figures", help="print reproduced figures")
-    sub.add_parser("tables", help="print reproduced tables")
+    exit_ok = "exit codes: 0 success, 2 usage error"
+    demo = sub.add_parser(
+        "demo", help="run a three-chip transaction", epilog=exit_ok
+    )
+    sub.add_parser("figures", help="print reproduced figures",
+                   epilog=exit_ok)
+    sub.add_parser("tables", help="print reproduced tables",
+                   epilog=exit_ok)
     systems = sub.add_parser(
-        "systems", help="run the 6.3 microbenchmark systems"
+        "systems", help="run the 6.3 microbenchmark systems",
+        epilog=exit_ok,
     )
     for command in (demo, systems):
         command.add_argument(
@@ -502,11 +530,18 @@ def main(argv=None) -> int:
             default="edge",
             help="simulation backend (default: edge-accurate)",
         )
-    vcd = sub.add_parser("vcd", help="write a waveform VCD")
+    vcd = sub.add_parser("vcd", help="write a waveform VCD",
+                         epilog=exit_ok)
     vcd.add_argument("path")
-    run_cmd = sub.add_parser("run", help="execute a declarative scenario")
+    run_cmd = sub.add_parser(
+        "run", help="execute a declarative scenario",
+        epilog="exit codes: 0 success, 2 usage error (bad scenario "
+               "or fault document)",
+    )
     sweep_cmd = sub.add_parser(
-        "sweep", help="map a scenario's parameter grid over runs"
+        "sweep", help="map a scenario's parameter grid over runs",
+        epilog="exit codes: 0 success, 2 usage error (missing or "
+               "empty sweep grid)",
     )
     for command in (run_cmd, sweep_cmd):
         command.add_argument("scenario", help="path to a scenario JSON file")
@@ -534,22 +569,33 @@ def main(argv=None) -> int:
     campaign_cmd = sub.add_parser(
         "campaign",
         help="compile, execute and query cached experiment campaigns",
+        epilog="exit codes: per subcommand (see its --help); common "
+               "convention: 0 success, 1 failed trials reported, "
+               "2 usage error, 130 interrupted",
     )
     campaign_sub = campaign_cmd.add_subparsers(
         dest="campaign_command", required=True
     )
     campaign_run = campaign_sub.add_parser(
-        "run", help="execute a campaign document (cached, resumable)"
+        "run", help="execute a campaign document (cached, resumable)",
+        epilog="exit codes: 0 all trials ok, 1 any trial failed, "
+               "2 usage error, 130 interrupted (checkpointed; rerun "
+               "to resume)",
     )
     campaign_status = campaign_sub.add_parser(
-        "status", help="report cache coverage for a campaign"
+        "status", help="report cache coverage for a campaign",
+        epilog="exit codes: 0 success, 2 usage error",
     )
     campaign_results = campaign_sub.add_parser(
-        "results", help="query stored results without executing"
+        "results", help="query stored results without executing",
+        epilog="exit codes: 0 all reported trials ok, 1 any reported "
+               "trial failed or no stored results, 2 usage error",
     )
     campaign_compact = campaign_sub.add_parser(
         "compact",
         help="rewrite the store, dropping superseded duplicate records",
+        epilog="exit codes: 0 success, 2 usage error (--store is "
+               "required)",
     )
     for command in (
         campaign_run, campaign_status, campaign_results, campaign_compact,
@@ -624,6 +670,8 @@ def main(argv=None) -> int:
         "fuzz",
         help="differential fuzzing across the backend matrix "
              "(edge vs fast by default) plus invariant checks",
+        epilog="exit codes: 0 no divergence, 1 divergence found "
+               "(repros written unless --no-repros), 2 usage error",
     )
     fuzz_cmd.add_argument(
         "--count", type=int, default=100,
@@ -666,6 +714,7 @@ def main(argv=None) -> int:
     reliability_cmd = sub.add_parser(
         "reliability",
         help="run the recovery-vs-glitch-rate robustness study",
+        epilog=exit_ok,
     )
     reliability_cmd.add_argument(
         "--seed", type=int, default=7, help="EMI seed (default: 7)"
@@ -684,6 +733,30 @@ def main(argv=None) -> int:
         "--store", metavar="DIR", default=None,
         help="ResultStore directory to memoise the study's trials",
     )
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="static analysis: determinism & invariant passes over "
+             "the repro sources",
+        epilog="exit codes: 0 clean, 1 findings reported, 2 usage "
+               "error",
+    )
+    lint_cmd.add_argument(
+        "path", nargs="?", default=None,
+        help="package root to lint (default: the installed repro "
+             "package)",
+    )
+    lint_cmd.add_argument(
+        "--select", metavar="PASS[,PASS...]", default=None,
+        help="run only the named passes (default: all)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format (default: text)",
+    )
+    lint_cmd.add_argument(
+        "--list", dest="list_passes", action="store_true",
+        help="list registered passes and exit",
+    )
     args = parser.parse_args(argv)
     return {
         "demo": _cmd_demo,
@@ -696,6 +769,7 @@ def main(argv=None) -> int:
         "campaign": _cmd_campaign,
         "fuzz": _cmd_fuzz,
         "reliability": _cmd_reliability,
+        "lint": _cmd_lint,
     }[args.command](args)
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 #: ln 5: an RC node reaches 80 % of its asymptote after RC*ln(5).
 LN5 = math.log(5.0)
@@ -127,7 +128,7 @@ class StandardI2C(_I2CProtocol):
     linear in frequency.
     """
 
-    def __init__(self, electrical: I2CElectrical = None):
+    def __init__(self, electrical: Optional[I2CElectrical] = None):
         self.electrical = electrical or I2CElectrical()
 
     def cycle_energy_pj(self, data_zero_fraction: float = 0.5) -> float:

@@ -14,6 +14,7 @@ of 21 instructions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.bitbang.mcu import Msp430Costs, Program, isr_wrap
 
@@ -139,7 +140,8 @@ class BitbangAnalysis:
 
 
 def max_bus_clock_hz(
-    cpu_clock_hz: float = MSP430_CLOCK_HZ, worst_path_cycles: int = None
+    cpu_clock_hz: float = MSP430_CLOCK_HZ,
+    worst_path_cycles: Optional[int] = None,
 ) -> float:
     cycles = worst_path_cycles or mbus_edge_isr().worst_case_cycles()
     return cpu_clock_hz / cycles

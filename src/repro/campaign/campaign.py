@@ -568,6 +568,7 @@ class CampaignStatus:
     def complete(self) -> bool:
         return self.cached == self.n_trials
 
+    # lint: disable=schema -- one-way analytic report; records are re-derived from runs, never loaded back
     def to_dict(self) -> Dict:
         return {
             "name": self.name,

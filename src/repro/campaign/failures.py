@@ -40,7 +40,7 @@ from __future__ import annotations
 import hashlib
 import traceback as traceback_module
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.core.errors import (
     ConfigurationError,
@@ -48,6 +48,9 @@ from repro.core.errors import (
     WallClockTimeout,
 )
 from repro.core.schema import REPORT_SCHEMA_VERSION
+
+if TYPE_CHECKING:
+    from repro.campaign.trial import Trial
 
 #: Record outcomes that are failures (everything but ``"ok"``).
 FAILURE_OUTCOMES = ("error", "timeout", "crashed")
@@ -163,7 +166,7 @@ def crash_failure(attempts: int, detail: str = "") -> TrialFailure:
     )
 
 
-def failure_record(trial, failure: TrialFailure) -> Dict:
+def failure_record(trial: "Trial", failure: TrialFailure) -> Dict:
     """The store record for a failed trial — same envelope as
     :func:`~repro.campaign.trial.trial_record`, with a ``failure``
     document in place of the ``report``."""
@@ -282,7 +285,7 @@ class RetryPolicy:
         return cls(**data)
 
 
-def normalize_retry(retry) -> Optional[RetryPolicy]:
+def normalize_retry(retry: Any) -> Optional[RetryPolicy]:
     """Coerce a ``retry=`` argument: None, a policy, or a dict."""
     if retry is None or isinstance(retry, RetryPolicy):
         return retry

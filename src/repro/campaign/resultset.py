@@ -382,7 +382,7 @@ class ResultSet(Sequence):
             title=title or (self.name and f"campaign: {self.name}") or "",
         )
 
-    def to_jsonl(self, path) -> int:
+    def to_jsonl(self, path: str) -> int:
         """Write one canonical record line per result; returns the
         number of lines written (the store's exact byte format)."""
         with open(path, "w") as handle:

@@ -149,7 +149,7 @@ def execute_trial(
     trial: Trial,
     setup: Optional[Callable] = None,
     trace: bool = False,
-):
+) -> Tuple[Dict, float, Any]:
     """Run one trial in this process.
 
     Returns ``(record, wall_s, report)`` — the JSON record for the

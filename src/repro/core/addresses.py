@@ -21,7 +21,7 @@ Wire formats (most significant bit transmitted first):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Container, Optional, Tuple
 
 from repro.core import constants
 from repro.core.errors import AddressError
@@ -139,9 +139,9 @@ class Address:
 
     def matches(
         self,
-        short_prefix,
-        full_prefix,
-        broadcast_channels,
+        short_prefix: Optional[int],
+        full_prefix: Optional[int],
+        broadcast_channels: Container[int],
     ) -> bool:
         """Would a node with these identifiers accept this address?
 

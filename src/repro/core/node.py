@@ -166,7 +166,11 @@ class MBusNode:
         din.on_edge(self._on_din_edge)
         clkin.on_edge(self._on_clk_edge)
 
-    def attach_mediator_logic(self, n_nodes_hint, on_complete) -> None:
+    def attach_mediator_logic(
+        self,
+        n_nodes_hint: Callable[[], int],
+        on_complete: Callable[..., None],
+    ) -> None:
         """Instantiate the mediator FSM sharing this node's pads."""
         if not self.config.is_mediator:
             raise ConfigurationError(f"{self.name} is not the mediator node")

@@ -28,6 +28,7 @@ from repro.core.addresses import Address
 from repro.core.bus import MBusSystem
 from repro.core.errors import ProtocolError
 from repro.core.messages import ControlCode, Message, ReceivedMessage
+from repro.core.node import MBusNode
 
 #: The well-known resumable functional unit.
 FU_RESUMABLE = 15
@@ -82,7 +83,7 @@ class _Stream:
 class ResumableReceiver:
     """Attach to a node to accept resumable transfers on FU 15."""
 
-    def __init__(self, node):
+    def __init__(self, node: MBusNode) -> None:
         self.node = node
         self.streams: Dict[int, _Stream] = {}
         self.completed: Dict[int, bytes] = {}

@@ -14,6 +14,7 @@ parameter sweeps where simulating every edge would be wasteful.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core import constants
 
@@ -115,7 +116,7 @@ class TransactionModel:
 
     def bus_utilization(
         self,
-        n_bytes_sequence,
+        n_bytes_sequence: Iterable[int],
         period_s: float,
         full_address: bool = False,
     ) -> float:

@@ -180,6 +180,7 @@ class FuzzReport:
     def exit_code(self) -> int:
         return 0 if self.ok else 1
 
+    # lint: disable=schema -- one-way analytic report; records are re-derived from runs, never loaded back
     def to_dict(self) -> Dict:
         return {
             "seed": self.seed,

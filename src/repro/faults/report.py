@@ -51,6 +51,7 @@ class FaultOutcome:
     transaction_index: Optional[int]
     classification: str
 
+    # lint: disable=schema -- one-way analytic report; records are re-derived from runs, never loaded back
     def to_dict(self) -> Dict:
         return {
             "fault_index": self.fault_index,
@@ -107,6 +108,7 @@ class ReliabilityReport:
         counts = Counter(o.classification for o in self.outcomes)
         return {k: counts[k] for k in OUTCOMES if counts[k]}
 
+    # lint: disable=schema -- one-way analytic report; records are re-derived from runs, never loaded back
     def to_dict(self) -> Dict:
         return {
             "schema_version": REPORT_SCHEMA_VERSION,

@@ -1,0 +1,32 @@
+"""``repro.lint``: AST-based determinism & invariant linter.
+
+Static enforcement of the source-level invariants behind the
+simulator's runtime guarantees (content-addressed caching,
+cross-backend byte-identity, resumable stores).  See
+:mod:`repro.lint.framework` for the architecture and
+``python -m repro lint --list`` for the registered passes.
+"""
+
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    LintPass,
+    Suppression,
+    available_passes,
+    default_root,
+    format_findings,
+    lint_pass,
+    run_lint,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintPass",
+    "Suppression",
+    "available_passes",
+    "default_root",
+    "format_findings",
+    "lint_pass",
+    "run_lint",
+]

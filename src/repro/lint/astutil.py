@@ -1,0 +1,101 @@
+"""Small AST helpers shared by the lint passes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee, else ``None``."""
+    return dotted_name(node.func)
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a Name/Attribute target (``x.at_ps``
+    -> ``at_ps``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def string_template(node: ast.AST) -> Optional[str]:
+    """A comparable template for a string expression.
+
+    Plain strings map to themselves; f-strings map to the literal
+    text with every interpolation replaced by ``{}``, so two
+    f-strings that differ only in *how* they compute an interpolated
+    value still compare equal — the lint contract is about the words
+    a user reads, not the expressions behind them.  String
+    concatenation with ``+`` concatenates templates.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("{}")
+            else:
+                return None
+        return "".join(parts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = string_template(node.left)
+        right = string_template(node.right)
+        if left is not None and right is not None:
+            return left + right
+    return None
+
+
+def raised_messages(
+    scope: ast.AST, exception: str = "ConfigurationError"
+) -> Iterator[Tuple[ast.Raise, str]]:
+    """Yield ``(raise-node, message-template)`` for every
+    ``raise <exception>(<string>)`` inside ``scope``."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Raise):
+            continue
+        exc = node.exc
+        if not isinstance(exc, ast.Call):
+            continue
+        if terminal_name(exc.func) != exception:
+            continue
+        if not exc.args:
+            continue
+        template = string_template(exc.args[0])
+        if template is not None:
+            yield node, template
+
+
+def dict_literal_keys(node: ast.Dict) -> List[str]:
+    """String keys of a dict literal (non-string keys skipped)."""
+    keys: List[str] = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append(key.value)
+    return keys
+
+
+def assigned_name(node: ast.Assign) -> Optional[str]:
+    """The single Name target of an assignment, else ``None``."""
+    if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+        return node.targets[0].id
+    return None

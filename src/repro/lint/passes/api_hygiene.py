@@ -1,0 +1,92 @@
+"""API-hygiene pass: no mutable defaults, no swallowed failures.
+
+Failure-as-data is a campaign-layer guarantee: every exception
+becomes a structured TrialFailure record.  A handler that silently
+``pass``es turns a failure into a missing record, and a mutable
+default argument turns two independent trials into accidental
+shared state — both undermine the "execution is a pure function of
+documents" contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import call_name
+from repro.lint.framework import FileContext, Finding, lint_pass
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in _MUTABLE_CALLS and not node.args \
+            and not node.keywords
+    return False
+
+
+def _body_is_swallow(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue   # docstring / Ellipsis
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+@lint_pass(
+    "api-hygiene",
+    "no mutable default arguments; no bare/swallowing exception "
+    "handlers",
+)
+def api_hygiene(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        "api-hygiene",
+                        default,
+                        f"{node.name}() has a mutable default "
+                        "argument; it is shared across every call "
+                        "(and across trials in a campaign)",
+                        hint="default to None and create the value "
+                             "inside the function",
+                    )
+        elif isinstance(node, ast.ExceptHandler):
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            if node.type is None:
+                yield ctx.finding(
+                    "api-hygiene",
+                    node,
+                    "bare except: catches SystemExit and "
+                    "KeyboardInterrupt, breaking the campaign "
+                    "layer's SIGINT checkpoint-and-stop contract",
+                    hint="catch Exception (or a narrower class)",
+                )
+            if broad and _body_is_swallow(node):
+                yield ctx.finding(
+                    "api-hygiene",
+                    node,
+                    "broad exception handler silently swallows the "
+                    "failure; failures are data (structured "
+                    "TrialFailure records), never dropped",
+                    hint="record, re-raise or narrow the handler",
+                )

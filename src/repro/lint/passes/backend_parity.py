@@ -1,0 +1,299 @@
+"""Backend-parity pass: the compiled tier mirrors the core exactly.
+
+The differential harness asserts *error symmetry*: a bad spec must
+fail with the same ConfigurationError message on edge, fast and
+batch.  The batch compiler replicates the core construction-path
+checks, so its message literals can silently drift when someone
+rewords an error in ``core/node.py`` or ``core/bus.py`` — this pass
+compares the raise-site templates function by function and fails on
+any asymmetry.  It also checks the backend registry's internal
+consistency (unique names, exactly one selector whose capability
+flags are the union of the concrete tiers, selector targets
+registered) and that CLI backend-name defaults name registered
+backends.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.astutil import (
+    assigned_name,
+    call_name,
+    raised_messages,
+    string_template,
+)
+from repro.lint.framework import FileContext, Finding, lint_pass
+
+
+@dataclass(frozen=True)
+class ParityPair:
+    """One compiler function whose raise templates must match a core
+    construction-path function's."""
+
+    batch_file: str
+    batch_function: str
+    batch_class: Optional[str]
+    core_file: str
+    core_function: str
+    core_class: Optional[str]
+
+
+#: The replicated-validation contract of ``repro.batch.compiler``.
+PARITY_PAIRS: Tuple[ParityPair, ...] = (
+    ParityPair(
+        "batch/compiler.py", "_validate_node_specs", None,
+        "core/node.py", "__post_init__", "NodeConfig",
+    ),
+    ParityPair(
+        "batch/compiler.py", "_validate_prefixes", None,
+        "core/bus.py", "_validate_prefixes", "MBusSystem",
+    ),
+    ParityPair(
+        "batch/compiler.py", "_resolve_anchor", "CompiledSystem",
+        "core/bus.py", "set_arbitration_anchor", "MBusSystem",
+    ),
+)
+
+_RUNNER_FILE = "scenario/runner.py"
+_CLI_FILE = "__main__.py"
+
+_CAPABILITY_FLAGS = ("supports_trace", "supports_faults", "supports_setup")
+
+
+def _templates(
+    ctx: FileContext, function: str, classname: Optional[str]
+) -> Optional[List[str]]:
+    node = ctx.find_function(function, classname=classname)
+    if node is None:
+        return None
+    return [template for _, template in raised_messages(node)]
+
+
+def _literal_parity(
+    by_path: Dict[str, FileContext]
+) -> Iterator[Finding]:
+    for pair in PARITY_PAIRS:
+        batch_ctx = by_path.get(pair.batch_file)
+        core_ctx = by_path.get(pair.core_file)
+        if batch_ctx is None or core_ctx is None:
+            continue
+        batch = _templates(batch_ctx, pair.batch_function, pair.batch_class)
+        core = _templates(core_ctx, pair.core_function, pair.core_class)
+        anchor = batch_ctx.find_function(
+            pair.batch_function, classname=pair.batch_class
+        )
+        if batch is None:
+            yield batch_ctx.finding(
+                "backend-parity",
+                batch_ctx.tree,
+                f"{pair.batch_file} no longer defines "
+                f"{pair.batch_function}; the replicated-validation "
+                "contract is unverifiable",
+                hint="keep the compiler's validation mirror functions "
+                     "named as registered in PARITY_PAIRS",
+            )
+            continue
+        if core is None:
+            yield core_ctx.finding(
+                "backend-parity",
+                core_ctx.tree,
+                f"{pair.core_file} no longer defines "
+                f"{pair.core_function}; the replicated-validation "
+                "contract is unverifiable",
+                hint="update PARITY_PAIRS if the construction path "
+                     "moved",
+            )
+            continue
+        missing = [t for t in core if t not in batch]
+        extra = [t for t in batch if t not in core]
+        for template in missing:
+            yield batch_ctx.finding(
+                "backend-parity",
+                anchor,
+                f"{pair.batch_function} is missing a core "
+                f"construction-path error: {template!r} "
+                f"(raised by {pair.core_file}:"
+                f"{pair.core_function}); a bad spec would fail with "
+                "different messages across backends",
+                hint="replicate the core error literal verbatim",
+            )
+        for template in extra:
+            yield batch_ctx.finding(
+                "backend-parity",
+                anchor,
+                f"{pair.batch_function} raises {template!r}, which "
+                f"{pair.core_file}:{pair.core_function} never does; "
+                "the batch tier would reject specs the event-loop "
+                "backends accept (or with different words)",
+                hint="match the core construction-path literals "
+                     "exactly",
+            )
+
+
+def _backend_table(
+    ctx: FileContext,
+) -> Optional[Tuple[ast.Assign, List[Dict[str, object]]]]:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and \
+                assigned_name(node) == "BACKEND_TABLE":
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and \
+                node.target.id == "BACKEND_TABLE":
+            value = node.value
+        else:
+            continue
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        entries: List[Dict[str, object]] = []
+        for element in value.elts:
+            if not (
+                isinstance(element, ast.Call)
+                and call_name(element) == "BackendInfo"
+            ):
+                continue
+            entry: Dict[str, object] = {"_node": element}
+            if element.args and isinstance(element.args[0], ast.Constant):
+                entry["name"] = element.args[0].value
+            for kw in element.keywords:
+                if isinstance(kw.value, ast.Constant):
+                    entry[kw.arg] = kw.value.value
+            entries.append(entry)
+        return node, entries
+    return None
+
+
+def _selector_returns(ctx: FileContext) -> List[Tuple[ast.AST, str]]:
+    fn = ctx.find_function("select_backend")
+    if fn is None:
+        return []
+    literals: List[Tuple[ast.AST, str]] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and \
+                        isinstance(sub.value, str):
+                    literals.append((node, sub.value))
+    return literals
+
+
+def _registry_findings(ctx: FileContext) -> Iterator[Finding]:
+    table = _backend_table(ctx)
+    if table is None:
+        yield ctx.finding(
+            "backend-parity",
+            ctx.tree,
+            "BACKEND_TABLE literal not found in scenario/runner.py; "
+            "the registry consistency checks cannot run",
+            hint="keep BACKEND_TABLE a module-level tuple of "
+                 "BackendInfo(...) literals",
+        )
+        return
+    node, entries = table
+    names = [e.get("name") for e in entries]
+    seen = set()
+    for entry in entries:
+        name = entry.get("name")
+        if name in seen:
+            yield ctx.finding(
+                "backend-parity",
+                entry["_node"],
+                f"duplicate backend name {name!r} in BACKEND_TABLE",
+                hint="backend names key BACKEND_REGISTRY; keep them "
+                     "unique",
+            )
+        seen.add(name)
+    selectors = [e for e in entries if e.get("selector")]
+    concrete = [e for e in entries if not e.get("selector")]
+    if len(selectors) != 1:
+        yield ctx.finding(
+            "backend-parity",
+            node,
+            f"BACKEND_TABLE declares {len(selectors)} selector "
+            "entries; exactly one ('auto') is expected",
+            hint="mark only the auto pseudo-backend selector=True",
+        )
+    for selector in selectors:
+        for flag in _CAPABILITY_FLAGS:
+            claimed = bool(selector.get(flag))
+            available = any(bool(e.get(flag)) for e in concrete)
+            if claimed != available:
+                yield ctx.finding(
+                    "backend-parity",
+                    selector["_node"],
+                    f"selector {selector.get('name')!r} claims "
+                    f"{flag}={claimed} but the concrete tiers "
+                    f"offer {flag}={available}; the auto entry must "
+                    "advertise exactly the union of what it can "
+                    "resolve to",
+                    hint="keep the selector's capability flags the "
+                         "OR of the concrete entries",
+                )
+    concrete_names = {e.get("name") for e in concrete}
+    for ret, literal in _selector_returns(ctx):
+        if literal not in concrete_names | set(names):
+            yield ctx.finding(
+                "backend-parity",
+                ret,
+                f"select_backend can return {literal!r}, which is "
+                "not a registered concrete backend",
+                hint="selector targets must be BACKEND_TABLE entries",
+            )
+
+
+def _cli_findings(
+    cli_ctx: FileContext, runner_ctx: FileContext
+) -> Iterator[Finding]:
+    table = _backend_table(runner_ctx)
+    if table is None:
+        return
+    _, entries = table
+    registered = {e.get("name") for e in entries}
+    for node in ast.walk(cli_ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "--backends"
+        ):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "default":
+                continue
+            default = string_template(kw.value)
+            if default is None:
+                continue
+            unknown = [
+                name.strip() for name in default.split(",")
+                if name.strip() and name.strip() not in registered
+            ]
+            for name in unknown:
+                yield cli_ctx.finding(
+                    "backend-parity",
+                    kw.value,
+                    f"CLI --backends default names unregistered "
+                    f"backend {name!r}",
+                    hint="defaults must be BACKEND_TABLE names",
+                )
+
+
+@lint_pass(
+    "backend-parity",
+    "batch-compiler error literals mirror the core construction "
+    "path; backend registry internally consistent",
+    scope="project",
+)
+def backend_parity(contexts: List[FileContext]) -> Iterator[Finding]:
+    by_path = {ctx.relpath: ctx for ctx in contexts}
+    yield from _literal_parity(by_path)
+    runner_ctx = by_path.get(_RUNNER_FILE)
+    if runner_ctx is not None:
+        yield from _registry_findings(runner_ctx)
+        cli_ctx = by_path.get(_CLI_FILE)
+        if cli_ctx is not None:
+            yield from _cli_findings(cli_ctx, runner_ctx)

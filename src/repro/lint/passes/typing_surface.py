@@ -1,0 +1,142 @@
+"""Typing pass: annotated public surfaces, no implicit Optional.
+
+The mypy gate (``mypy.ini``) enforces ``disallow_incomplete_defs``
+and ``no_implicit_optional`` on ``repro.core`` / ``repro.scenario``
+/ ``repro.campaign``; this pass checks the same surface locally so a
+missing annotation fails ``python -m repro lint`` even on machines
+without mypy installed.  Public = module-level functions and methods
+of module-level classes whose names don't start with ``_``
+(``__init__`` counts: it is the constructor signature users call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.framework import FileContext, Finding, lint_pass
+
+#: Packages whose public surfaces must be fully annotated (the same
+#: set mypy.ini gates in CI).
+TYPED_PACKAGES = ("core/", "scenario/", "campaign/")
+
+_SKIP_ARGS = {"self", "cls"}
+
+
+def _is_typed_file(ctx: FileContext) -> bool:
+    return ctx.relpath.startswith(TYPED_PACKAGES)
+
+
+def _annotation_findings(
+    ctx: FileContext, fn: ast.FunctionDef, owner: str
+) -> Iterator[Finding]:
+    label = f"{owner}.{fn.name}" if owner else fn.name
+    args = (
+        list(fn.args.posonlyargs)
+        + list(fn.args.args)
+        + list(fn.args.kwonlyargs)
+    )
+    missing = [
+        arg.arg for arg in args
+        if arg.annotation is None and arg.arg not in _SKIP_ARGS
+    ]
+    if fn.args.vararg is not None and fn.args.vararg.annotation is None:
+        missing.append("*" + fn.args.vararg.arg)
+    if fn.args.kwarg is not None and fn.args.kwarg.annotation is None:
+        missing.append("**" + fn.args.kwarg.arg)
+    if missing:
+        yield ctx.finding(
+            "typing",
+            fn,
+            f"public {label}() has unannotated parameter(s): "
+            f"{', '.join(missing)}",
+            hint="annotate the full public signature (mypy "
+                 "disallow_incomplete_defs gates this in CI)",
+        )
+    if fn.returns is None and fn.name != "__init__":
+        yield ctx.finding(
+            "typing",
+            fn,
+            f"public {label}() has no return annotation",
+            hint="annotate the return type (use None for "
+                 "procedures)",
+        )
+
+
+def _optional_aliases(ctx: FileContext) -> set:
+    """Module-level type aliases that already admit ``None``
+    (``StoreLike = Union[Store, str, None]``)."""
+    aliases = set()
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            text = ast.unparse(node.value)
+            if "None" in text or "Optional" in text or "Any" in text:
+                aliases.add(node.targets[0].id)
+    return aliases
+
+
+def _implicit_optional_findings(
+    ctx: FileContext, fn: ast.FunctionDef, optional_aliases: set
+) -> Iterator[Finding]:
+    args = list(fn.args.posonlyargs) + list(fn.args.args)
+    defaults = list(fn.args.defaults)
+    # defaults align with the tail of the positional args
+    paired = list(zip(args[len(args) - len(defaults):], defaults))
+    paired += [
+        (arg, default)
+        for arg, default in zip(fn.args.kwonlyargs, fn.args.kw_defaults)
+        if default is not None
+    ]
+    for arg, default in paired:
+        if not (
+            isinstance(default, ast.Constant) and default.value is None
+        ):
+            continue
+        annotation = arg.annotation
+        if annotation is None:
+            continue
+        text = ast.unparse(annotation)
+        if "Optional" in text or "None" in text or "Any" in text:
+            continue
+        if text in optional_aliases:
+            continue
+        yield ctx.finding(
+            "typing",
+            arg,
+            f"{fn.name}() parameter {arg.arg}: {text} = None is an "
+            "implicit Optional; mypy's no_implicit_optional rejects "
+            "it",
+            hint=f"annotate as Optional[{text}]",
+        )
+
+
+@lint_pass(
+    "typing",
+    "public surfaces of core/scenario/campaign fully annotated; "
+    "no implicit Optional parameters anywhere",
+)
+def typing_surface(ctx: FileContext) -> Iterator[Finding]:
+    optional_aliases = _optional_aliases(ctx)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _implicit_optional_findings(
+                ctx, node, optional_aliases
+            )
+    if not _is_typed_file(ctx):
+        return
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield from _annotation_findings(ctx, node, "")
+        elif isinstance(node, ast.ClassDef) and \
+                not node.name.startswith("_"):
+            for item in node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                public = not item.name.startswith("_") or \
+                    item.name == "__init__"
+                if public:
+                    yield from _annotation_findings(ctx, item, node.name)

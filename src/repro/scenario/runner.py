@@ -301,6 +301,7 @@ class RunReport:
         return self.energy_pj(model) / bits
 
     # -- presentation ------------------------------------------------------
+    # lint: disable=schema -- one-way analytic report; records are re-derived from runs, never loaded back
     def to_dict(self) -> Dict:
         energy_pj = self.energy_pj()
         bits = self.delivered_payload_bits
@@ -408,7 +409,7 @@ def run(
     trace: bool = False,
     timeout_s: Optional[float] = None,
     setup: Optional[Callable[[MBusSystem], Any]] = None,
-    faults=None,
+    faults: Any = None,
     wall_timeout_s: Optional[float] = None,
 ) -> RunReport:
     """Execute ``workload`` on the system described by ``spec``.
@@ -572,7 +573,7 @@ def sweep(
     trace: bool = False,
     timeout_s: Optional[float] = None,
     setup: Optional[Callable[[MBusSystem], Any]] = None,
-    faults=None,
+    faults: Any = None,
 ) -> List[SweepPoint]:
     """Deprecated: use :class:`repro.campaign.Campaign`.
 

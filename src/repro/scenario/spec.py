@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core import constants
 from repro.core.bus import MBusSystem
@@ -260,6 +260,6 @@ class SystemSpec:
         )
         return cls(**kwargs)
 
-    def replace(self, **overrides) -> "SystemSpec":
+    def replace(self, **overrides: Any) -> "SystemSpec":
         """A copy with the given fields replaced (sweep-friendly)."""
         return dataclasses.replace(self, **overrides)

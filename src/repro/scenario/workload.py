@@ -35,9 +35,12 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.core.addresses import Address
+
+if TYPE_CHECKING:
+    from repro.scenario.spec import SystemSpec
 from repro.core.errors import ConfigurationError
 
 
@@ -95,7 +98,7 @@ class Workload:
 
     kind: str = ""
 
-    def compile(self, spec) -> Tuple[ScheduleEvent, ...]:
+    def compile(self, spec: "SystemSpec") -> Tuple[ScheduleEvent, ...]:
         """The deterministic, time-sorted schedule for ``spec``."""
         return tuple(sorted(self._events(spec), key=lambda e: e.at_s))
 

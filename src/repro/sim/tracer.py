@@ -9,7 +9,7 @@ and so examples can dump human-readable timing diagrams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.signals import EdgeType, Net
 
@@ -56,7 +56,9 @@ class Tracer:
         """All recorded transitions of one net."""
         return list(self._by_net.get(name, ()))
 
-    def count_edges(self, name: str, edge: EdgeType = None) -> int:
+    def count_edges(
+        self, name: str, edge: Optional[EdgeType] = None
+    ) -> int:
         """Number of transitions (optionally of one polarity) on a net.
 
         Equality, not identity: EdgeType is an IntEnum, so callers may

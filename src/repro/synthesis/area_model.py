@@ -17,7 +17,7 @@ reported rather than hidden).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -119,7 +119,9 @@ def mbus_required_only_area_um2() -> float:
     return MBUS_MODULES["bus_controller"].area_um2
 
 
-def fit_area_library(designs: List[ModuleSynthesis] = None) -> AreaLibrary:
+def fit_area_library(
+    designs: Optional[List[ModuleSynthesis]] = None,
+) -> AreaLibrary:
     """Least-squares fit of (um2/gate, um2/flop) over published rows.
 
     Solves the 2x2 normal equations directly (no numpy dependency in
@@ -146,7 +148,9 @@ def fit_area_library(designs: List[ModuleSynthesis] = None) -> AreaLibrary:
     return AreaLibrary(um2_per_gate=a, um2_per_flip_flop=b)
 
 
-def table2_rows(library: AreaLibrary = None) -> List[Tuple[str, int, int, int, float, float]]:
+def table2_rows(
+    library: Optional[AreaLibrary] = None,
+) -> List[Tuple[str, int, int, int, float, float]]:
     """(name, sloc, gates, flops, published um2, modelled um2) rows."""
     lib = library or fit_area_library()
     rows = []

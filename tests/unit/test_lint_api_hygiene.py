@@ -1,0 +1,128 @@
+"""API-hygiene pass: mutable defaults and swallowed exceptions."""
+
+import textwrap
+
+from repro.lint import run_lint
+
+
+def lint(tmp_path, source):
+    (tmp_path / "m.py").write_text(textwrap.dedent(source))
+    return run_lint(root=tmp_path, select=["api-hygiene"])
+
+
+def test_mutable_literal_defaults_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def run(jobs=[], opts={}, seen=set()):\n"
+            "    pass\n"
+        ),
+    )
+    assert len(findings) == 3
+    assert "mutable default" in findings[0].message
+
+
+def test_mutable_constructor_default_flagged(tmp_path):
+    findings = lint(tmp_path, "def run(jobs=list()):\n    pass\n")
+    assert len(findings) == 1
+
+
+def test_keyword_only_mutable_default_flagged(tmp_path):
+    findings = lint(
+        tmp_path, "def run(*, jobs=[]):\n    pass\n"
+    )
+    assert len(findings) == 1
+
+
+def test_none_and_immutable_defaults_clean(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def run(jobs=None, retries=3, mode='fast', shape=()):\n"
+            "    pass\n"
+        ),
+    )
+    assert findings == []
+
+
+def test_populated_constructor_default_clean(tmp_path):
+    # list(seed) is re-evaluated per call in spirit; the pass only
+    # flags the empty-container idiom that should be None.
+    findings = lint(
+        tmp_path, "def run(jobs=tuple('ab')):\n    pass\n"
+    )
+    assert findings == []
+
+
+def test_bare_except_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def run():\n"
+            "    try:\n"
+            "        go()\n"
+            "    except:\n"
+            "        raise\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "KeyboardInterrupt" in findings[0].message
+
+
+def test_broad_swallowing_handler_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def run():\n"
+            "    try:\n"
+            "        go()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "swallows" in findings[0].message
+
+
+def test_bare_swallowing_handler_double_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def run():\n"
+            "    try:\n"
+            "        go()\n"
+            "    except:\n"
+            "        pass\n"
+        ),
+    )
+    assert len(findings) == 2
+
+
+def test_broad_handler_that_records_clean(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def run():\n"
+            "    try:\n"
+            "        go()\n"
+            "    except Exception as exc:\n"
+            "        record(exc)\n"
+        ),
+    )
+    assert findings == []
+
+
+def test_narrow_swallow_clean(tmp_path):
+    # Swallowing a *narrow*, expected exception is a legitimate idiom
+    # (e.g. queue.Empty in a drain loop).
+    findings = lint(
+        tmp_path,
+        (
+            "def run():\n"
+            "    try:\n"
+            "        go()\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        ),
+    )
+    assert findings == []

@@ -1,0 +1,192 @@
+"""Backend-parity pass: replicated-validation drift and registry
+consistency.
+
+The regression at the heart of this file (satellite: error-literal
+desync): the batch compiler replicates core construction-path
+ConfigurationError literals verbatim, and the pass must fail the
+build the moment someone rewords one side only.
+"""
+
+import textwrap
+
+from repro.lint import run_lint
+
+
+def lint(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(root=tmp_path, select=["backend-parity"])
+
+
+_CORE_BUS = '''
+class MBusSystem:
+    def _validate_prefixes(self):
+        if dup:
+            raise ConfigurationError(
+                f"short prefix {prefix:#x} assigned to both "
+                f"{a!r} and {b!r}; run enumeration to "
+                "disambiguate duplicate chips (4.7)"
+            )
+        if reserved:
+            raise ConfigurationError(
+                f"short prefix {prefix:#x} is reserved"
+            )
+
+    def set_arbitration_anchor(self, name):
+        if gated:
+            raise ConfigurationError(
+                "the arbitration anchor holds always-on "
+                "wire-controller state; it cannot be power-gated"
+            )
+'''
+
+_BATCH_IN_SYNC = '''
+class CompiledSystem:
+    def _resolve_anchor(self, name):
+        if gated:
+            raise ConfigurationError(
+                "the arbitration anchor holds always-on "
+                "wire-controller state; it cannot be power-gated"
+            )
+
+
+def _validate_prefixes(specs):
+    if dup:
+        raise ConfigurationError(
+            f"short prefix {prefix:#x} assigned to both "
+            f"{a!r} and {b!r}; run enumeration to "
+            "disambiguate duplicate chips (4.7)"
+        )
+    if reserved:
+        raise ConfigurationError(
+            f"short prefix {prefix:#x} is reserved"
+        )
+
+
+def _validate_node_specs(specs):
+    pass
+'''
+
+# Same file with ONE error string reworded: "is reserved" became
+# "is a reserved prefix".  The core literal is now missing from the
+# batch mirror, and the batch mirror raises a literal the core never
+# does.
+_BATCH_DESYNCED = _BATCH_IN_SYNC.replace(
+    'f"short prefix {prefix:#x} is reserved"',
+    'f"short prefix {prefix:#x} is a reserved prefix"',
+)
+
+
+def test_synchronized_literals_clean(tmp_path):
+    findings = lint(tmp_path, {
+        "core/bus.py": _CORE_BUS,
+        "core/node.py": (
+            "class NodeConfig:\n"
+            "    def __post_init__(self):\n"
+            "        pass\n"
+        ),
+        "batch/compiler.py": _BATCH_IN_SYNC,
+    })
+    assert findings == []
+
+
+def test_desynchronized_error_literal_flagged(tmp_path):
+    findings = lint(tmp_path, {
+        "core/bus.py": _CORE_BUS,
+        "core/node.py": (
+            "class NodeConfig:\n"
+            "    def __post_init__(self):\n"
+            "        pass\n"
+        ),
+        "batch/compiler.py": _BATCH_DESYNCED,
+    })
+    # One missing core literal + one extra batch literal.
+    assert len(findings) == 2
+    joined = " ".join(f.message for f in findings)
+    assert "missing a core construction-path error" in joined
+    assert "never does" in joined
+    assert all(f.path == "batch/compiler.py" for f in findings)
+
+
+def test_deleted_mirror_function_flagged(tmp_path):
+    findings = lint(tmp_path, {
+        "core/bus.py": _CORE_BUS,
+        "batch/compiler.py": "def unrelated():\n    pass\n",
+    })
+    assert any(
+        "no longer defines" in f.message for f in findings
+    )
+
+
+_GOOD_TABLE = '''
+BACKEND_TABLE = (
+    BackendInfo("edge", supports_trace=True, supports_faults=True,
+                supports_setup=True),
+    BackendInfo("fast", supports_trace=False, supports_faults=True,
+                supports_setup=True),
+    BackendInfo("auto", selector=True, supports_trace=True,
+                supports_faults=True, supports_setup=True),
+)
+
+
+def select_backend(trial):
+    if trial.trace:
+        return "edge"
+    return "fast"
+'''
+
+
+def test_consistent_registry_clean(tmp_path):
+    findings = lint(tmp_path, {"scenario/runner.py": _GOOD_TABLE})
+    assert findings == []
+
+
+def test_duplicate_backend_name_flagged(tmp_path):
+    findings = lint(tmp_path, {
+        "scenario/runner.py": _GOOD_TABLE.replace(
+            'BackendInfo("fast"', 'BackendInfo("edge"'
+        ),
+    })
+    assert any("duplicate backend name" in f.message for f in findings)
+
+
+def test_selector_capability_union_enforced(tmp_path):
+    findings = lint(tmp_path, {
+        "scenario/runner.py": _GOOD_TABLE.replace(
+            '"auto", selector=True, supports_trace=True',
+            '"auto", selector=True, supports_trace=False',
+        ),
+    })
+    assert len(findings) == 1
+    assert "supports_trace" in findings[0].message
+
+
+def test_selector_returning_unregistered_backend_flagged(tmp_path):
+    findings = lint(tmp_path, {
+        "scenario/runner.py": _GOOD_TABLE.replace(
+            'return "fast"', 'return "turbo"'
+        ),
+    })
+    assert len(findings) == 1
+    assert "'turbo'" in findings[0].message
+
+
+def test_cli_backend_defaults_must_be_registered(tmp_path):
+    cli = (
+        "def build(parser):\n"
+        "    parser.add_argument('--backends', default='edge,warp')\n"
+    )
+    findings = lint(tmp_path, {
+        "scenario/runner.py": _GOOD_TABLE,
+        "__main__.py": cli,
+    })
+    assert len(findings) == 1
+    assert "'warp'" in findings[0].message
+    assert findings[0].path == "__main__.py"
+
+
+def test_real_tree_parity_holds():
+    """The shipped batch compiler mirrors the shipped core literals."""
+    assert run_lint(select=["backend-parity"]) == []

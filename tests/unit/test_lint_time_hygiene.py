@@ -1,0 +1,117 @@
+"""Time-hygiene pass: *_ps quantities stay integer picoseconds."""
+
+import textwrap
+
+from repro.lint import run_lint
+
+
+def lint(tmp_path, source):
+    (tmp_path / "m.py").write_text(textwrap.dedent(source))
+    return run_lint(root=tmp_path, select=["time-hygiene"])
+
+
+def test_float_literal_assignment_flagged(tmp_path):
+    findings = lint(tmp_path, "delay_ps = 1.5 * cycles\n")
+    assert len(findings) == 1
+    assert "integer picoseconds" in findings[0].message
+
+
+def test_true_division_assignment_flagged(tmp_path):
+    findings = lint(tmp_path, "period_ps = total / n\n")
+    assert len(findings) == 1
+
+
+def test_int_quantization_clean(tmp_path):
+    findings = lint(tmp_path, "delay_ps = int(round(delay_s * 1e12))\n")
+    assert findings == []
+
+
+def test_non_ps_names_uncontrolled(tmp_path):
+    findings = lint(tmp_path, "duration_s = cycles / clock_hz\n")
+    assert findings == []
+
+
+def test_float_annotation_flagged(tmp_path):
+    findings = lint(tmp_path, "wake_ps: float = 0\n")
+    assert len(findings) == 1
+    assert "annotated float" in findings[0].message
+
+
+def test_annotated_assignment_value_taint_flagged(tmp_path):
+    findings = lint(tmp_path, "wake_ps: int = round(2.5)\n")
+    assert len(findings) == 1
+
+
+def test_augmented_division_flagged(tmp_path):
+    findings = lint(tmp_path, "t_ps = 0\nt_ps /= 2\n")
+    assert len(findings) == 1
+    assert "/=" in findings[0].message
+
+
+def test_floor_division_augment_clean(tmp_path):
+    findings = lint(tmp_path, "t_ps = 0\nt_ps //= 2\n")
+    assert findings == []
+
+
+def test_ps_keyword_argument_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        "configure(node_delay_ps=0.5 * cycle)\n",
+    )
+    assert len(findings) == 1
+    assert "node_delay_ps=" in findings[0].message
+
+
+def test_ps_keyword_argument_quantized_clean(tmp_path):
+    findings = lint(
+        tmp_path,
+        "configure(node_delay_ps=int(round(0.5 * cycle)))\n",
+    )
+    assert findings == []
+
+
+def test_float_annotated_ps_parameter_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        "def schedule(at_ps: float) -> None:\n    pass\n",
+    )
+    assert len(findings) == 1
+    assert "parameter at_ps" in findings[0].message
+
+
+def test_ps_function_returning_division_flagged(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def cycle_ps(clock_hz):\n"
+            "    return 1e12 / clock_hz\n"
+        ),
+    )
+    assert len(findings) == 1
+    assert "cycle_ps() returns" in findings[0].message
+
+
+def test_ps_function_returning_quantized_clean(tmp_path):
+    findings = lint(
+        tmp_path,
+        (
+            "def cycle_ps(clock_hz):\n"
+            "    return int(round(1e12 / clock_hz))\n"
+        ),
+    )
+    assert findings == []
+
+
+def test_nested_function_return_not_misattributed(tmp_path):
+    # A return inside a nested helper belongs to the helper, not to
+    # the enclosing *_ps function.
+    findings = lint(
+        tmp_path,
+        (
+            "def cycle_ps(clock_hz):\n"
+            "    def helper():\n"
+            "        return 1.0\n"
+            "    return int(helper())\n"
+        ),
+    )
+    assert findings == []

@@ -1,0 +1,120 @@
+"""Typing pass: annotated public surfaces, no implicit Optional."""
+
+import textwrap
+
+from repro.lint import run_lint
+
+
+def lint(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint(root=tmp_path, select=["typing"])
+
+
+def test_unannotated_public_function_in_typed_package(tmp_path):
+    findings = lint(tmp_path, {
+        "core/thing.py": (
+            "def compute(value):\n"
+            "    return value\n"
+        ),
+    })
+    assert len(findings) == 2  # parameter + return
+    joined = " ".join(f.message for f in findings)
+    assert "unannotated parameter" in joined
+    assert "no return annotation" in joined
+
+
+def test_fully_annotated_function_clean(tmp_path):
+    findings = lint(tmp_path, {
+        "core/thing.py": (
+            "def compute(value: int) -> int:\n"
+            "    return value\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_private_functions_exempt(tmp_path):
+    findings = lint(tmp_path, {
+        "core/thing.py": (
+            "def _helper(value):\n"
+            "    return value\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_untyped_package_surface_exempt(tmp_path):
+    findings = lint(tmp_path, {
+        "baselines/thing.py": (
+            "def compute(value):\n"
+            "    return value\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_public_method_and_init_checked(tmp_path):
+    findings = lint(tmp_path, {
+        "campaign/thing.py": (
+            "class Runner:\n"
+            "    def __init__(self, store):\n"
+            "        self.store = store\n"
+            "    def go(self) -> None:\n"
+            "        pass\n"
+            "    def _internal(self, x):\n"
+            "        pass\n"
+        ),
+    })
+    assert len(findings) == 1
+    assert "Runner.__init__" in findings[0].message
+
+
+def test_varargs_need_annotations(tmp_path):
+    findings = lint(tmp_path, {
+        "scenario/thing.py": (
+            "def build(*parts, **options) -> None:\n"
+            "    pass\n"
+        ),
+    })
+    assert len(findings) == 1
+    assert "*parts" in findings[0].message
+    assert "**options" in findings[0].message
+
+
+def test_implicit_optional_flagged_everywhere(tmp_path):
+    # Unlike surface annotation, implicit Optional is checked in
+    # every package (mypy's no_implicit_optional is global).
+    findings = lint(tmp_path, {
+        "baselines/thing.py": (
+            "def connect(timeout: float = None) -> None:\n"
+            "    pass\n"
+        ),
+    })
+    assert len(findings) == 1
+    assert "implicit Optional" in findings[0].message
+
+
+def test_explicit_optional_clean(tmp_path):
+    findings = lint(tmp_path, {
+        "core/thing.py": (
+            "from typing import Optional\n"
+            "def connect(timeout: Optional[float] = None) -> None:\n"
+            "    pass\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_none_admitting_alias_clean(tmp_path):
+    findings = lint(tmp_path, {
+        "campaign/thing.py": (
+            "from typing import Union\n"
+            "StoreLike = Union[str, None]\n"
+            "def open_store(store: StoreLike = None) -> None:\n"
+            "    pass\n"
+        ),
+    })
+    assert findings == []
