@@ -1,0 +1,160 @@
+"""Disabled-observability overhead guard: the strict-no-op contract.
+
+Every instrumentation site this PR added to a hot path hides behind a
+single ``if OBS.enabled`` attribute check.  The only *per-round* site
+is the :func:`repro.core.tlm_engine.plan_round` wrapper — the fast
+path calls it once per bus round, so a 60-message fig14 burst
+executes it 60+ times inside ~3 ms of wall time.  This guard measures
+what that wrapper costs when observability is off (the default, and
+the only state benchmarks and campaigns run in):
+
+* **guarded arm** — the shipped code, ``OBS`` disabled;
+* **bypassed arm** — ``plan_round`` monkeypatched back to
+  ``_plan_round_impl`` in every module that imported it by name
+  (``tlm_engine`` itself, the fast path, the batch executor),
+  emulating the pre-observability build.
+
+Both arms are interleaved best-of-N on the Figure 14 burst so they
+see the same machine noise, with a repeat ladder to shed noisy
+sessions before failing; the guarded arm must stay within
+``OVERHEAD_CEILING`` (2 %) on the **fast** backend.
+
+The batch and edge rows are recorded but not asserted: the batch
+merge loop has *no* per-round guard (its counters fire once per run,
+and ``plan_round`` only runs on template misses), and the edge
+scheduler guards once per ``run()`` call — on both, the paired
+difference is dominated by per-process code-layout noise (observed
+swinging ±7 % in either direction between sessions at best-of-80),
+not by guard cost.  The edge row is the cleanest control: both arms
+execute byte-identical code there, so its |overhead| is the session's
+measurement noise floor.  Results land in ``BENCH_PR9.json`` at the
+repo root next to the recorded pre-PR seed baselines.
+"""
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from conftest import run_burst
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+
+OVERHEAD_CEILING = 0.02
+
+#: Pre-PR fig14 burst wall times (best-of-N, report.wall_s) recorded
+#: on this runner immediately before the observability layer landed.
+SEED_BASELINES = {
+    "fast_60msg_wall_s": 0.0032936280003923457,
+    "edge_6msg_wall_s": 0.008778913999776705,
+    "batch_60msg_wall_s": 0.0001710540000203764,
+}
+
+#: (backend, burst size, asserted) measurement points.  Only the fast
+#: point is asserted — see the module docstring for why the batch and
+#: edge rows are diagnostics.
+POINTS = (
+    ("fast", 60, True),
+    ("batch", 960, False),
+    ("edge", 6, False),
+)
+
+#: Repeat ladder: retry at higher best-of-N before failing, exactly
+#: like the session perf smoke guard in conftest.py.
+REPEAT_LADDER = (7, 25, 80)
+
+
+@contextmanager
+def bypassed_plan_round():
+    """Re-link ``plan_round`` to its unwrapped implementation in every
+    importer, emulating the pre-observability build."""
+    import repro.batch.executor as batch_executor
+    import repro.core.tlm_engine as tlm_engine
+    import repro.sim.fastpath as fastpath
+
+    saved = (
+        tlm_engine.plan_round,
+        fastpath.plan_round,
+        batch_executor.plan_round,
+    )
+    tlm_engine.plan_round = tlm_engine._plan_round_impl
+    fastpath.plan_round = tlm_engine._plan_round_impl
+    batch_executor.plan_round = tlm_engine._plan_round_impl
+    try:
+        yield
+    finally:
+        (
+            tlm_engine.plan_round,
+            fastpath.plan_round,
+            batch_executor.plan_round,
+        ) = saved
+
+
+def measure_pair(mode: str, n_messages: int, repeats: int):
+    """Interleaved best-of-N of the guarded and bypassed arms."""
+    guarded = bypassed = float("inf")
+    for _ in range(repeats):
+        with bypassed_plan_round():
+            bypassed = min(bypassed, run_burst(mode, n_messages)[0])
+        guarded = min(guarded, run_burst(mode, n_messages)[0])
+    return guarded, bypassed
+
+
+def test_disabled_obs_overhead_under_ceiling(report):
+    from repro.obs.state import OBS
+
+    assert OBS.enabled is False, (
+        "benchmark must run with observability disabled"
+    )
+    rows = {}
+    for mode, n_messages, asserted in POINTS:
+        for repeats in REPEAT_LADDER:
+            guarded, bypassed = measure_pair(mode, n_messages, repeats)
+            overhead = guarded / bypassed - 1.0
+            if not asserted or overhead <= OVERHEAD_CEILING:
+                break
+        rows[mode] = {
+            "messages": n_messages,
+            "repeats": repeats,
+            "asserted": asserted,
+            "guarded_wall_s": guarded,
+            "bypassed_wall_s": bypassed,
+            "overhead": overhead,
+        }
+        if asserted:
+            assert overhead <= OVERHEAD_CEILING, (
+                f"disabled-obs overhead on the {mode} backend is "
+                f"{overhead:+.2%} (ceiling {OVERHEAD_CEILING:.0%}, "
+                f"best-of-{repeats}): the OBS guard is no longer a "
+                "strict no-op on the hot path"
+            )
+    doc = {
+        "benchmark": "obs_disabled_overhead",
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "seed_baselines": SEED_BASELINES,
+        "points": rows,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    lines = ["Disabled-observability overhead (guarded vs bypassed)"]
+    for mode, row in rows.items():
+        tag = "guard" if row["asserted"] else "info "
+        lines.append(
+            f"  [{tag}] {mode:<6} {row['messages']:>4} msg  "
+            f"guarded {row['guarded_wall_s'] * 1e3:8.4f} ms  "
+            f"bypassed {row['bypassed_wall_s'] * 1e3:8.4f} ms  "
+            f"overhead {row['overhead']:+7.2%}"
+        )
+    lines.append(f"  written to {BENCH_PATH.name}")
+    report("\n".join(lines))
+
+
+def test_enabled_metrics_only_run_still_correct():
+    """Sanity: flipping OBS on must not change simulation outcomes
+    (the overhead guard only times the disabled state)."""
+    from repro.obs.state import observe
+
+    baseline = run_burst("fast", 12)
+    with observe(trace=False, profile=False):
+        observed = run_burst("fast", 12)
+    assert observed[1] == baseline[1]   # events
+    assert observed[2] == baseline[2]   # transactions
+    assert observed[3] == baseline[3]   # sim seconds

@@ -28,10 +28,22 @@ Commands
     Failures are data: ``--wall-timeout`` bounds each trial,
     ``--retry-failed`` / ``--retry-quarantined`` re-execute cached
     failures, and SIGINT/SIGTERM checkpoint-and-stop instead of
-    aborting.  Exits 1 when any trial failed, 130 when interrupted.
+    aborting.  ``--progress auto|always|never`` controls the stderr
+    progress line (CI-safe flushed lines off-tty); ``--trace-out`` /
+    ``--chrome`` record the run with :mod:`repro.obs`.  Exits 1 when
+    any trial failed, 130 when interrupted.
 ``campaign status CAMPAIGN.json [--store DIR]``
-    Report how many of the campaign's trials the store already holds
-    (including failed / quarantined counts).
+    Report how many of the campaign's trials the store already holds,
+    split by outcome (ok / error / timeout / crashed), with retry
+    totals and the quarantined trial list.
+``trace SCENARIO.json [--backend ...] [-o TRACE.jsonl] [--chrome CHROME.json]``
+    Execute a scenario with observability on and record the span /
+    metrics / profile trace as deterministic JSONL (optionally also
+    Chrome trace_event JSON for chrome://tracing or Perfetto).
+``stats TRACE.jsonl [TRACE2.jsonl ...] [--json]``
+    Summarize one recorded trace (phase profile table), or diff the
+    phase profiles of several — e.g. the same scenario traced on
+    edge, fast and batch.
 ``campaign results CAMPAIGN.json [--store DIR] [--where k=v ...] [--failed-only]``
     Query stored results without executing anything.  Exits 1 when
     any reported trial failed.
@@ -308,11 +320,52 @@ def _campaign_result_document(campaign, results, store) -> dict:
     }
 
 
+def _make_progress(mode: str):
+    """The ``--progress`` callback for ``campaign run``.
+
+    ``auto`` renders a live carriage-return line on a tty and falls
+    back to throttled, explicitly flushed plain lines when stderr is
+    not a tty (CI log capture, pipes) — a ``\\r`` line there sits
+    invisible in the stream buffer until the run ends.  ``always``
+    prints one flushed line per resolved trial; ``never`` disables
+    progress output.
+    """
+    import time as time_module
+
+    stream = sys.stderr
+    if mode == "never":
+        return None
+    tty = bool(getattr(stream, "isatty", None) and stream.isatty())
+    if mode == "auto" and tty:
+        def live(done: int, total: int, _result) -> None:
+            print(
+                f"\rcampaign: {done}/{total} trial(s) complete",
+                end="\n" if done == total else "",
+                file=stream,
+                flush=True,
+            )
+        return live
+    throttle_s = 0.0 if mode == "always" else 1.0
+    last = [float("-inf")]
+
+    def lines(done: int, total: int, _result) -> None:
+        now = time_module.monotonic()
+        if done != total and now - last[0] < throttle_s:
+            return
+        last[0] = now
+        print(
+            f"campaign: {done}/{total} trial(s) complete",
+            file=stream,
+            flush=True,
+        )
+    return lines
+
+
 def _cmd_campaign_run(args) -> int:
     from repro.campaign import load_campaign
 
     campaign = load_campaign(args.campaign)
-    results = campaign.run(
+    run_kwargs = dict(
         executor=args.executor,
         workers=args.workers,
         store=args.store,
@@ -321,7 +374,39 @@ def _cmd_campaign_run(args) -> int:
         retry_failed=args.retry_failed,
         retry_quarantined=args.retry_quarantined,
         install_signal_handlers=True,
+        progress=_make_progress(args.progress),
     )
+    if args.trace_out or args.chrome:
+        from repro import obs
+
+        with obs.observe() as session:
+            results = campaign.run(**run_kwargs)
+        meta = {
+            "label": campaign.name or "campaign",
+            "executor": args.executor,
+        }
+        records = obs.trace_records(
+            session.tracer,
+            meta=meta,
+            metrics=session.metrics.snapshot(),
+            profile=session.profiler.to_dict(),
+        )
+        if args.trace_out:
+            from repro.obs.tracer import canonical_line
+
+            with open(args.trace_out, "w") as handle:
+                for record in records:
+                    handle.write(canonical_line(record))
+                    handle.write("\n")
+            print(f"wrote {len(records)} trace record(s) to "
+                  f"{args.trace_out}")
+        if args.chrome:
+            from repro.obs.cli import write_chrome
+
+            write_chrome(args.chrome, records)
+            print(f"wrote Chrome trace JSON to {args.chrome}")
+    else:
+        results = campaign.run(**run_kwargs)
     if args.output:
         results.to_jsonl(args.output)
         print(f"wrote {len(results)} result records to {args.output}")
@@ -411,6 +496,18 @@ def _cmd_campaign(args) -> int:
         "results": _cmd_campaign_results,
         "compact": _cmd_campaign_compact,
     }[args.campaign_command](args)
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.cli import cmd_trace
+
+    return cmd_trace(args)
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.cli import cmd_stats
+
+    return cmd_stats(args)
 
 
 def _cmd_fuzz(args) -> int:
@@ -648,6 +745,27 @@ def main(argv=None) -> int:
         action="store_true",
         help="re-execute every cached failure, quarantined ones included",
     )
+    campaign_run.add_argument(
+        "--progress",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="trial progress on stderr: auto = live line on a tty, "
+             "throttled flushed lines otherwise (CI-safe); always = "
+             "one flushed line per trial; never = silent "
+             "(default: auto)",
+    )
+    campaign_run.add_argument(
+        "--trace-out",
+        metavar="TRACE.jsonl",
+        help="record the run with repro.obs and write the span/metrics/"
+             "profile trace as JSONL",
+    )
+    campaign_run.add_argument(
+        "--chrome",
+        metavar="CHROME.json",
+        help="also write the Chrome trace_event JSON "
+             "(chrome://tracing, Perfetto)",
+    )
     campaign_results.add_argument(
         "--where",
         action="append",
@@ -666,6 +784,57 @@ def main(argv=None) -> int:
             metavar="PATH",
             help="write one canonical record per line (JSONL)",
         )
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="execute a scenario with observability on and record "
+             "the span/metrics/profile trace",
+        epilog="exit codes: 0 success, 2 usage error (bad scenario "
+               "or fault document)",
+    )
+    trace_cmd.add_argument("scenario", help="path to a scenario JSON file")
+    trace_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help=f"simulation backend (default: auto). {backend_help()}",
+    )
+    trace_cmd.add_argument(
+        "--faults",
+        metavar="FAULTS.json",
+        help="inject a JSON fault set (forces the edge backend)",
+    )
+    trace_cmd.add_argument(
+        "-o", "--output",
+        metavar="TRACE.jsonl",
+        default="trace.jsonl",
+        help="trace JSONL output path (default: trace.jsonl)",
+    )
+    trace_cmd.add_argument(
+        "--chrome",
+        metavar="CHROME.json",
+        help="also write the Chrome trace_event JSON "
+             "(chrome://tracing, Perfetto)",
+    )
+    trace_cmd.add_argument(
+        "--label",
+        default=None,
+        help="trace label for stats diffs (default: the scenario name)",
+    )
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="summarize a recorded trace, or diff phase profiles "
+             "across several (e.g. one per backend)",
+        epilog="exit codes: 0 success, 2 usage error (unreadable "
+               "trace file)",
+    )
+    stats_cmd.add_argument(
+        "traces", nargs="+",
+        help="trace JSONL file(s) recorded by 'repro trace' or "
+             "'repro campaign run --trace-out'",
+    )
+    stats_cmd.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     fuzz_cmd = sub.add_parser(
         "fuzz",
         help="differential fuzzing across the backend matrix "
@@ -767,6 +936,8 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "campaign": _cmd_campaign,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
         "fuzz": _cmd_fuzz,
         "reliability": _cmd_reliability,
         "lint": _cmd_lint,

@@ -18,6 +18,7 @@ import threading
 from collections import OrderedDict
 
 from repro.batch.compiler import CompiledSystem
+from repro.obs.state import OBS
 from repro.scenario.spec import SystemSpec
 
 #: Bounded LRU: big enough for any realistic campaign mix, small
@@ -48,11 +49,15 @@ def compile_system_cached(spec: SystemSpec) -> CompiledSystem:
         if csys is not None:
             _cache.move_to_end(key)
             _hits += 1
+            if OBS.enabled:
+                OBS.metrics.inc("batch.compile_cache_hits")
             return csys
     # Compile outside the lock (validation may raise; never poison it).
     csys = CompiledSystem(spec)
     with _lock:
         _misses += 1
+        if OBS.enabled:
+            OBS.metrics.inc("batch.compile_cache_misses")
         _cache[key] = csys
         while len(_cache) > MAX_ENTRIES:
             _cache.popitem(last=False)

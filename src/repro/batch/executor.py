@@ -51,6 +51,7 @@ from repro.core.bus import TransactionResult
 from repro.core.errors import BusLockedError, WallClockTimeout
 from repro.core.messages import ControlCode, ReceivedMessage
 from repro.core.tlm_engine import NodeRoundState, RoundContext, plan_round
+from repro.obs.state import OBS
 from repro.sim.scheduler import SimulationError
 
 #: Same runaway guard as ``Simulator.run(max_events=...)``.
@@ -252,6 +253,10 @@ class BatchExecutor:
                 bus_on_ps[p] += end_ps - self.bus_since[p]
             if self.layer_on[p]:
                 layer_on_ps[p] += end_ps - self.layer_since[p]
+        if OBS.enabled:
+            OBS.metrics.inc("batch.run_calls")
+            OBS.metrics.set("batch.steps", self.steps)
+            OBS.metrics.set("batch.rounds", len(self.round_log))
         return BatchResult(
             round_log=self.round_log,
             hit_counts=self.hit_counts,
@@ -352,6 +357,11 @@ class BatchExecutor:
             tuple(sorted(pulsers)) if pulsers else (),
         )
         tpl = csys.templates.get(key)
+        if OBS.enabled:
+            OBS.metrics.inc(
+                "batch.template_hits" if tpl is not None
+                else "batch.template_misses"
+            )
         if tpl is None:
             messages = csys.message_table
             states = {
@@ -578,6 +588,9 @@ class BatchExecutor:
             raise SimulationError(
                 f"exceeded {self.max_steps} events; likely oscillation"
             )
+        if OBS.enabled:
+            OBS.metrics.inc("batch.steady_replays")
+            OBS.metrics.inc("batch.steady_rounds", k)
         log_append = self.round_log.append
         s = t0
         for _ in range(k):

@@ -81,6 +81,7 @@ from repro.campaign.trial import (
 )
 from repro.core.errors import ConfigurationError
 from repro.faults.primitives import FaultSpec, normalize_faults
+from repro.obs.state import OBS
 from repro.scenario.runner import BACKENDS
 from repro.scenario.spec import SystemSpec
 from repro.scenario.workload import Workload, workload_from_dict
@@ -88,6 +89,9 @@ from repro.scenario.workload import Workload, workload_from_dict
 EXECUTORS = ("serial", "process")
 
 StoreLike = Union[ResultStore, str, None]
+
+#: progress callback: (completed_so_far, total_planned, latest_result)
+ProgressCallback = Callable[[int, int, TrialResult], None]
 
 
 def _as_store(store: StoreLike) -> ResultStore:
@@ -262,6 +266,7 @@ class Campaign:
         wall_timeout_s: Optional[float] = None,
         stop: Optional[threading.Event] = None,
         install_signal_handlers: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> ResultSet:
         """Execute the campaign and return its :class:`ResultSet`.
 
@@ -292,6 +297,11 @@ class Campaign:
         every completed trial and returns a partial, resumable
         :class:`ResultSet` with ``interrupted=True`` instead of dying
         mid-write.
+
+        ``progress`` — an optional callback invoked as
+        ``progress(done, total, result)`` each time a trial resolves
+        (cache hit, fresh outcome, or alias), from the calling
+        thread; the CLI's progress line rides on it.
         """
         if executor not in EXECUTORS:
             raise ConfigurationError(
@@ -340,102 +350,141 @@ class Campaign:
                 )
             exec_order = order
 
+        total = len(trials)
         results: Dict[int, TrialResult] = {}
-        pending: List[Trial] = []
-        for index in exec_order:
-            trial = trials[index]
-            if resume:
-                record = live_store.get(trial.key)
-                if record is not None and not self._should_redo(
-                    record, retry_failed, retry_quarantined
-                ):
-                    results[index] = TrialResult(
-                        trial=trial, record=record, cached=True
+
+        def _resolved(result: TrialResult) -> None:
+            results[result.trial.index] = result
+            if progress is not None:
+                progress(len(results), total, result)
+
+        def _execute() -> ResultSet:
+            pending: List[Trial] = []
+            for index in exec_order:
+                trial = trials[index]
+                if resume:
+                    record = live_store.get(trial.key)
+                    if record is not None and not self._should_redo(
+                        record, retry_failed, retry_quarantined
+                    ):
+                        if OBS.enabled:
+                            OBS.metrics.inc("campaign.cache_hits")
+                        _resolved(TrialResult(
+                            trial=trial, record=record, cached=True
+                        ))
+                        continue
+                pending.append(trial)
+
+            # Within one run, identical documents mean identical
+            # results: execute the first occurrence, alias the rest
+            # (unless the caller asked for brute-force re-execution).
+            to_execute: List[Trial] = []
+            aliases: List[Trial] = []
+            if dedupe:
+                seen: Dict[str, Trial] = {}
+                for trial in pending:
+                    if trial.key in seen:
+                        aliases.append(trial)
+                    else:
+                        seen[trial.key] = trial
+                        to_execute.append(trial)
+            else:
+                to_execute = pending
+
+            fresh: Dict[str, Dict] = {}
+
+            def on_outcome(trial, record, wall_s, live_report):
+                live_store.put(record)
+                fresh[trial.key] = record
+                if OBS.enabled:
+                    OBS.metrics.inc(
+                        "campaign.outcomes",
+                        labels={"outcome": record_outcome(record)},
                     )
-                    continue
-            pending.append(trial)
+                    if record_is_quarantined(record):
+                        OBS.metrics.inc("campaign.quarantined")
+                _resolved(TrialResult(
+                    trial=trial,
+                    record=record,
+                    cached=False,
+                    wall_s=wall_s,
+                    live=live_report if keep_reports else None,
+                ))
 
-        # Within one run, identical documents mean identical results:
-        # execute the first occurrence, alias the rest (unless the
-        # caller asked for brute-force re-execution).
-        to_execute: List[Trial] = []
-        aliases: List[Trial] = []
-        if dedupe:
-            seen: Dict[str, Trial] = {}
-            for trial in pending:
-                if trial.key in seen:
-                    aliases.append(trial)
-                else:
-                    seen[trial.key] = trial
-                    to_execute.append(trial)
-        else:
-            to_execute = pending
+            stop_event = stop or threading.Event()
+            restore: List = []
+            if (
+                install_signal_handlers
+                and threading.current_thread() is threading.main_thread()
+            ):
+                def _graceful(_signum, _frame):
+                    stop_event.set()
 
-        fresh: Dict[str, Dict] = {}
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    restore.append(
+                        (signum, signal.signal(signum, _graceful))
+                    )
+            interrupted = False
+            try:
+                if executor == "serial":
+                    interrupted = run_serial(
+                        to_execute,
+                        on_outcome,
+                        policy,
+                        stop_event,
+                        setup=setup,
+                        trace=trace,
+                    )
+                elif to_execute:
+                    pool = ProcessPool(
+                        workers=workers,
+                        policy=policy,
+                        wall_timeout_s=effective_wall,
+                    )
+                    interrupted = pool.run(
+                        to_execute, on_outcome, stop_event
+                    )
+            finally:
+                for signum, previous in restore:
+                    signal.signal(signum, previous)
+            for trial in aliases:
+                # An alias only resolves if its twin actually finished
+                # (an interrupted run may have left it pending).
+                if trial.key in fresh:
+                    if OBS.enabled:
+                        OBS.metrics.inc("campaign.aliases")
+                    _resolved(TrialResult(
+                        trial=trial, record=fresh[trial.key], cached=True
+                    ))
 
-        def on_outcome(trial, record, wall_s, live_report):
-            live_store.put(record)
-            fresh[trial.key] = record
-            results[trial.index] = TrialResult(
-                trial=trial,
-                record=record,
-                cached=False,
-                wall_s=wall_s,
-                live=live_report if keep_reports else None,
+            return ResultSet(
+                [
+                    results[index]
+                    for index in range(len(trials))
+                    if index in results
+                ],
+                executor=executor,
+                wall_s=time.perf_counter() - start,
+                name=self.name,
+                interrupted=interrupted,
+                planned=len(trials),
             )
 
-        stop_event = stop or threading.Event()
-        restore: List = []
-        if (
-            install_signal_handlers
-            and threading.current_thread() is threading.main_thread()
-        ):
-            def _graceful(_signum, _frame):
-                stop_event.set()
-
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                restore.append((signum, signal.signal(signum, _graceful)))
-        interrupted = False
-        try:
-            if executor == "serial":
-                interrupted = run_serial(
-                    to_execute,
-                    on_outcome,
-                    policy,
-                    stop_event,
-                    setup=setup,
-                    trace=trace,
-                )
-            elif to_execute:
-                pool = ProcessPool(
-                    workers=workers,
-                    policy=policy,
-                    wall_timeout_s=effective_wall,
-                )
-                interrupted = pool.run(to_execute, on_outcome, stop_event)
-        finally:
-            for signum, previous in restore:
-                signal.signal(signum, previous)
-        for trial in aliases:
-            # An alias only resolves if its twin actually finished
-            # (an interrupted run may have left it pending).
-            if trial.key in fresh:
-                results[trial.index] = TrialResult(
-                    trial=trial, record=fresh[trial.key], cached=True
-                )
-
-        return ResultSet(
-            [
-                results[index]
-                for index in range(len(trials))
-                if index in results
-            ],
+        if not OBS.enabled:
+            return _execute()
+        OBS.metrics.inc("campaign.runs")
+        OBS.metrics.set("campaign.trials_planned", total)
+        tracer = OBS.tracer
+        if tracer is None:
+            return _execute()
+        with tracer.span(
+            "campaign",
+            cat="campaign",
+            label=self.name or "campaign",
             executor=executor,
-            wall_s=time.perf_counter() - start,
-            name=self.name,
-            interrupted=interrupted,
-            planned=len(trials),
-        )
+            trials=total,
+        ):
+            return _execute()
 
     @staticmethod
     def _should_redo(
@@ -455,28 +504,41 @@ class Campaign:
     # ------------------------------------------------------------------
     def status(self, store: StoreLike) -> "CampaignStatus":
         """How much of this campaign the store already holds, split
-        by outcome."""
+        by outcome: per-outcome counts (``ok`` / ``error`` /
+        ``timeout`` / ``crashed``), total retries spent (attempts
+        beyond the first, summed over failure records), and the
+        quarantine list (trial indices)."""
         live_store = _as_store(store)
         trials = self.trials()
-        cached = failed = quarantined = 0
+        cached = failed = retries = 0
+        outcomes = {"ok": 0, "error": 0, "timeout": 0, "crashed": 0}
+        quarantined_trials: List[int] = []
         for trial in trials:
             record = live_store.get(trial.key)
             if record is None:
                 continue
             cached += 1
-            if record_outcome(record) != "ok":
+            outcome = record_outcome(record)
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            failure = record.get("failure")
+            if failure:
+                retries += max(0, int(failure.get("attempts", 1)) - 1)
+            if outcome != "ok":
                 failed += 1
                 if record_is_quarantined(record):
-                    quarantined += 1
+                    quarantined_trials.append(trial.index)
         return CampaignStatus(
             name=self.name,
             n_trials=len(trials),
             cached=cached,
             failed=failed,
-            quarantined=quarantined,
+            quarantined=len(quarantined_trials),
             store_path=(
                 None if live_store.path is None else str(live_store.path)
             ),
+            outcomes=outcomes,
+            retries=retries,
+            quarantined_trials=tuple(quarantined_trials),
         )
 
     # ------------------------------------------------------------------
@@ -559,6 +621,12 @@ class CampaignStatus:
     failed: int = 0
     quarantined: int = 0
     store_path: Optional[str] = None
+    #: Per-outcome record counts over the cached trials.
+    outcomes: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Attempts beyond the first, summed over stored failure records.
+    retries: int = 0
+    #: Trial indices whose stored failure is quarantined.
+    quarantined_trials: Sequence[int] = ()
 
     @property
     def pending(self) -> int:
@@ -579,6 +647,9 @@ class CampaignStatus:
             "pending": self.pending,
             "complete": self.complete,
             "store": self.store_path,
+            "outcomes": dict(self.outcomes),
+            "retries": self.retries,
+            "quarantined_trials": list(self.quarantined_trials),
         }
 
     def summary(self) -> str:
@@ -588,11 +659,28 @@ class CampaignStatus:
             f"{label}: {self.cached}/{self.n_trials} trial(s) cached"
             f"{where}, {self.pending} pending"
         )
+        counted = {
+            k: v for k, v in self.outcomes.items() if v and k != "ok"
+        }
         if self.failed:
-            text += (
-                f"; {self.failed} FAILED"
-                f" ({self.quarantined} quarantined)"
+            breakdown = ", ".join(
+                f"{count} {outcome}"
+                for outcome, count in sorted(counted.items())
             )
+            text += (
+                f"; {self.failed} FAILED ({breakdown}; "
+                f"{self.quarantined} quarantined)"
+            )
+        if self.retries:
+            text += f"; {self.retries} retr{'y' if self.retries == 1 else 'ies'} spent"
+        if self.quarantined_trials:
+            shown = ", ".join(
+                str(index) for index in list(self.quarantined_trials)[:10]
+            )
+            more = len(self.quarantined_trials) - 10
+            if more > 0:
+                shown += f", ... +{more} more"
+            text += f"\n  quarantined trial(s): {shown}"
         return text
 
 

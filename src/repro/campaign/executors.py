@@ -56,6 +56,7 @@ from repro.campaign.failures import (
     failure_record,
 )
 from repro.campaign.trial import Trial, execute_trial, run_trial_document
+from repro.obs.state import OBS
 
 #: outcome callback: (trial, record, wall_s, live_report_or_None)
 OutcomeCallback = Callable[[Trial, Dict, float, Optional[object]], None]
@@ -69,6 +70,13 @@ HARD_KILL_GRACE_S = 1.0
 
 def _interruptible_sleep(seconds: float, stop: threading.Event) -> None:
     stop.wait(timeout=seconds)
+
+
+def _count_retry(delay_s: float) -> None:
+    """Guarded retry accounting, shared by both executors (the
+    backoff total is host time, hence the ``wall`` in its name)."""
+    OBS.metrics.inc("campaign.retries")
+    OBS.metrics.inc("campaign.retry_backoff_wall_s", delay_s)
 
 
 def run_serial(
@@ -87,35 +95,76 @@ def run_serial(
     for trial in trials:
         if stop.is_set():
             return True
-        attempts = 0
-        while True:
-            attempts += 1
-            start = time.perf_counter()
-            try:
-                record, wall_s, report = execute_trial(
-                    trial, setup=setup, trace=trace
+        if OBS.enabled and OBS.tracer is not None:
+            # Nested run spans from the in-process execution land
+            # inside this trial span (campaign > trial > run ...).
+            with OBS.tracer.span(
+                "trial", cat="campaign", index=trial.index
+            ):
+                _serial_attempts(
+                    trial, on_outcome, policy, stop, setup, trace
                 )
-            except Exception as exc:
-                failure = classify_exception(exc, attempts=attempts)
-                if policy.should_retry(failure) and not stop.is_set():
-                    _interruptible_sleep(policy.delay_s(attempts), stop)
-                    continue
-                failure = policy.finalize(failure)
-                on_outcome(
-                    trial,
-                    failure_record(trial, failure),
-                    time.perf_counter() - start,
-                    None,
-                )
-                break
-            on_outcome(trial, record, wall_s, report)
-            break
+        else:
+            _serial_attempts(trial, on_outcome, policy, stop, setup, trace)
     return False
+
+
+def _serial_attempts(
+    trial: Trial,
+    on_outcome: OutcomeCallback,
+    policy: RetryPolicy,
+    stop: threading.Event,
+    setup: Optional[Callable],
+    trace: bool,
+) -> None:
+    """One trial's attempt loop: execute, retry transients, record."""
+    attempts = 0
+    while True:
+        attempts += 1
+        start = time.perf_counter()
+        try:
+            record, wall_s, report = execute_trial(
+                trial, setup=setup, trace=trace
+            )
+        except Exception as exc:
+            failure = classify_exception(exc, attempts=attempts)
+            if policy.should_retry(failure) and not stop.is_set():
+                delay_s = policy.delay_s(attempts)
+                if OBS.enabled:
+                    _count_retry(delay_s)
+                _interruptible_sleep(delay_s, stop)
+                continue
+            failure = policy.finalize(failure)
+            on_outcome(
+                trial,
+                failure_record(trial, failure),
+                time.perf_counter() - start,
+                None,
+            )
+            return
+        on_outcome(trial, record, wall_s, report)
+        return
 
 
 # ----------------------------------------------------------------------
 # The process pool.
 # ----------------------------------------------------------------------
+def _emit_trial_span(trial: Trial, outcome: str, wall_s: float) -> None:
+    """Pool-side trial span, emitted at outcome delivery: the trial
+    ran in a worker process, so the parent records a leaf span whose
+    wall width back-dates from the reported duration.  Call only when
+    ``OBS.enabled``."""
+    tracer = OBS.tracer
+    if tracer is not None:
+        tracer.emit(
+            "trial",
+            cat="campaign",
+            index=trial.index,
+            outcome=outcome,
+            wall_dur_s=wall_s,
+        )
+
+
 def _worker_main(conn) -> None:
     """Worker loop: receive a trial document, send back its outcome.
 
@@ -308,6 +357,8 @@ class ProcessPool:
             kind = payload[0]
             if kind == "ok":
                 _, _index, record, wall_s = payload
+                if OBS.enabled:
+                    _emit_trial_span(attempt.trial, "ok", wall_s)
                 on_outcome(attempt.trial, record, wall_s, None)
             else:
                 _, _index, failure_doc, wall_s = payload
@@ -343,6 +394,8 @@ class ProcessPool:
                     attempts=attempt.attempts,
                 )
                 workers[i] = _Worker(ctx)
+                if OBS.enabled:
+                    OBS.metrics.inc("campaign.pool_rebuilds")
                 self._settle_failure(
                     attempt, failure, 0.0, queue, retries, on_outcome
                 )
@@ -366,18 +419,23 @@ class ProcessPool:
         self._settle_failure(
             attempt, failure, 0.0, queue, retries, on_outcome
         )
+        if OBS.enabled:
+            OBS.metrics.inc("campaign.pool_rebuilds")
         return _Worker(ctx)
 
     def _settle_failure(
         self, attempt, failure, wall_s, queue, retries, on_outcome
     ) -> None:
         if self.policy.should_retry(failure):
-            attempt.eligible_at = (
-                time.monotonic() + self.policy.delay_s(attempt.attempts)
-            )
+            delay_s = self.policy.delay_s(attempt.attempts)
+            if OBS.enabled:
+                _count_retry(delay_s)
+            attempt.eligible_at = time.monotonic() + delay_s
             retries.append(attempt)
             return
         failure = self.policy.finalize(failure)
+        if OBS.enabled:
+            _emit_trial_span(attempt.trial, failure.outcome, wall_s)
         on_outcome(
             attempt.trial,
             failure_record(attempt.trial, failure),

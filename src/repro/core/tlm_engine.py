@@ -37,6 +37,7 @@ from repro.core import constants
 from repro.core.addresses import Address
 from repro.core.constants import NODE_SETTLE_FACTOR
 from repro.core.messages import ControlCode, Message
+from repro.obs.state import OBS
 
 __all__ = [
     "NODE_SETTLE_FACTOR",
@@ -305,7 +306,19 @@ class RoundContext:
 
 
 def plan_round(ctx: RoundContext) -> TransactionPlan:
-    """Compute one complete bus round analytically."""
+    """Compute one complete bus round analytically.
+
+    The observability wrapper around :func:`_plan_round_impl`: when
+    ``repro.obs`` is off this is one boolean check plus a tail call,
+    so the fast-path planner's per-round cost is unchanged.
+    """
+    if not OBS.enabled:
+        return _plan_round_impl(ctx)
+    with OBS.profiled("plan_round", "tlm.plan_round_calls"):
+        return _plan_round_impl(ctx)
+
+
+def _plan_round_impl(ctx: RoundContext) -> TransactionPlan:
     topo = ctx.topology
     timing = topo.timing
     n = topo.n

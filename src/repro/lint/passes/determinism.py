@@ -30,6 +30,7 @@ WALL_CLOCK_MODULES: Set[str] = {
     "sim/scheduler.py",
     "scenario/runner.py",
     "batch/executor.py",
+    "obs/wallclock.py",
 }
 
 #: Modules allowed to read the process environment (documented

@@ -1,0 +1,92 @@
+"""``repro.obs`` — unified tracing, metrics and profiling.
+
+The observability plane over all three execution tiers and the
+campaign layer:
+
+* **spans** (:mod:`repro.obs.tracer`) — a deterministic structured
+  trace of campaign > trial > run > bus-round > transaction nesting,
+  written as JSONL and exportable as Chrome ``trace_event`` JSON;
+* **metrics** (:mod:`repro.obs.metrics`) — labeled counters, gauges
+  and histograms wired into the edge scheduler, the fast-path
+  planner, the batch merge loop and the campaign executors;
+* **profiles** (:mod:`repro.obs.profiler`) — per-phase wall timers
+  (``compile`` / ``plan_round`` / ``execute`` / ``serialize``) that
+  ``python -m repro trace`` records and ``python -m repro stats``
+  summarizes and diffs across backends.
+
+Everything is off by default and a strict no-op when disabled: hot
+paths pay one boolean check (:data:`~repro.obs.state.OBS`'s
+``enabled`` attribute), enforced by ``benchmarks/test_obs_overhead``.
+Host-clock reads are confined to :mod:`repro.obs.wallclock`, and every
+wall-derived field or metric carries ``wall`` in its name so
+:func:`strip_wall_fields` reduces a trace to its deterministic,
+byte-comparable content.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observe() as session:
+        report = run(spec, workload, backend="batch")
+    obs.write_trace("trace.jsonl", session.tracer,
+                    meta={"backend": report.backend},
+                    metrics=session.metrics.snapshot(),
+                    profile=session.profiler.to_dict())
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import (
+    PHASE_ORDER,
+    PhaseProfiler,
+    diff_profiles,
+    format_profile,
+)
+from repro.obs.state import (
+    OBS,
+    Observability,
+    ObsSession,
+    disable,
+    enable,
+    observe,
+)
+from repro.obs.tracer import (
+    Span,
+    TraceDoc,
+    Tracer,
+    chrome_trace,
+    load_trace,
+    span_structure,
+    strip_wall_fields,
+    trace_records,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.wallclock import wall_now
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "ObsSession",
+    "enable",
+    "disable",
+    "observe",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "PHASE_ORDER",
+    "diff_profiles",
+    "format_profile",
+    "Span",
+    "Tracer",
+    "TraceDoc",
+    "chrome_trace",
+    "load_trace",
+    "span_structure",
+    "strip_wall_fields",
+    "trace_records",
+    "validate_trace",
+    "write_trace",
+    "wall_now",
+]

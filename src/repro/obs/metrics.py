@@ -1,0 +1,187 @@
+"""Labeled counters, gauges and histograms with deterministic snapshots.
+
+The registry is deliberately tiny: instruments are created on first
+use, keyed by ``name`` plus a canonical label encoding, and
+:meth:`MetricsRegistry.snapshot` renders everything as one sorted,
+JSON-ready dict — the form that goes into trace files and CLI output.
+
+Determinism contract: any instrument whose value derives from the
+host clock must carry ``wall`` in its name (e.g.
+``campaign.retry_backoff_wall_s``) so trace comparisons can strip it;
+everything else (event counts, cache hits, retries) is a pure
+function of the executed documents and must snapshot identically
+across identical runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+def _encode(name: str, labels: Optional[Dict[str, object]]) -> str:
+    """Canonical instrument key: ``name{k1=v1,k2=v2}`` with sorted
+    labels, so snapshot keys never depend on call-site order."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f"{k}={labels[k]}" for k in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A running distribution: count, sum, min, max.
+
+    No bucket boundaries — the consumers here want phase totals and
+    sanity ranges, and a fixed summary keeps snapshots deterministic
+    and schema-stable.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def to_summary(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+        }
+
+
+class MetricsRegistry:
+    """On-demand instrument registry with a sorted dict snapshot."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+    def counter(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Counter:
+        key = _encode(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Gauge:
+        key = _encode(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Histogram:
+        key = _encode(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # -- hot-path conveniences -----------------------------------------
+    def inc(
+        self,
+        name: str,
+        amount: Number = 1,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.counter(name, labels).inc(amount)
+
+    def set(
+        self,
+        name: str,
+        value: Number,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.gauge(name, labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.histogram(name, labels).observe(value)
+
+    # -- presentation --------------------------------------------------
+    def items(self) -> Iterator[Tuple[str, object]]:
+        for key in sorted(self._counters):
+            yield key, self._counters[key].value
+        for key in sorted(self._gauges):
+            yield key, self._gauges[key].value
+        for key in sorted(self._histograms):
+            yield key, self._histograms[key].to_summary()
+
+    # lint: disable=schema -- one-way telemetry snapshot; metrics are re-measured, never loaded back into instruments
+    def to_dict(self) -> Dict:
+        return {
+            "counters": {
+                key: self._counters[key].value
+                for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: self._gauges[key].value
+                for key in sorted(self._gauges)
+            },
+            "histograms": {
+                key: self._histograms[key].to_summary()
+                for key in sorted(self._histograms)
+            },
+        }
+
+    snapshot = to_dict
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+        )

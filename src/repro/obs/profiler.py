@@ -1,0 +1,144 @@
+"""Opt-in per-phase wall profiling: record, summarize, diff.
+
+A :class:`PhaseProfiler` accumulates ``(calls, wall seconds)`` per
+named phase — ``compile``, ``plan_round``, ``execute``, ``serialize``
+— the common vocabulary every backend reports in, so profiles recorded
+on different tiers line up phase by phase.  ``python -m repro stats``
+renders one profile as a table and two or more as a side-by-side diff
+(the backend-comparison workflow: trace a scenario on edge, fast and
+batch, then diff where the time went).
+
+Call counts are deterministic (one ``plan_round`` per distinct round,
+one ``execute`` per run); only the ``wall_s`` fields are host noise,
+and they follow the repo-wide ``wall`` naming rule so
+:func:`repro.obs.strip_wall_fields` erases them for byte comparisons.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.wallclock import wall_now
+
+#: Canonical phase order for display; unknown phases sort after, by name.
+PHASE_ORDER = ("compile", "plan_round", "execute", "serialize")
+
+
+def _phase_sort_key(name: str) -> Tuple[int, str]:
+    try:
+        return (PHASE_ORDER.index(name), name)
+    except ValueError:
+        return (len(PHASE_ORDER), name)
+
+
+class PhaseProfiler:
+    """Accumulates wall time and call counts per phase name."""
+
+    __slots__ = ("_calls", "_wall_s")
+
+    def __init__(self) -> None:
+        self._calls: Dict[str, int] = {}
+        self._wall_s: Dict[str, float] = {}
+
+    def add(self, name: str, wall_s: float, calls: int = 1) -> None:
+        self._calls[name] = self._calls.get(name, 0) + calls
+        self._wall_s[name] = self._wall_s.get(name, 0.0) + wall_s
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = wall_now()
+        try:
+            yield
+        finally:
+            self.add(name, wall_now() - start)
+
+    # lint: disable=schema -- one-way profile record; stats reloads profiles as plain dicts via load_trace
+    def to_dict(self) -> Dict:
+        return {
+            "phases": {
+                name: {
+                    "calls": self._calls[name],
+                    "wall_s": self._wall_s[name],
+                }
+                for name in sorted(self._calls, key=_phase_sort_key)
+            }
+        }
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+
+# ----------------------------------------------------------------------
+# Summaries and diffs over recorded profiles.
+# ----------------------------------------------------------------------
+def profile_phases(profile: Dict) -> Dict[str, Dict]:
+    """The ``phases`` mapping of a recorded profile document."""
+    return profile.get("phases", {}) if profile else {}
+
+
+def format_profile(label: str, profile: Dict) -> str:
+    """One recorded profile as an aligned text table."""
+    phases = profile_phases(profile)
+    if not phases:
+        return f"{label}: no profile recorded"
+    total = sum(p.get("wall_s", 0.0) for p in phases.values())
+    lines = [f"profile: {label} (total {total * 1e3:.3f} ms)"]
+    for name in sorted(phases, key=_phase_sort_key):
+        entry = phases[name]
+        wall = entry.get("wall_s", 0.0)
+        share = wall / total if total > 0 else 0.0
+        lines.append(
+            f"  {name:<12} {entry.get('calls', 0):>8} call(s) "
+            f"{wall * 1e3:>10.3f} ms  {share:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def diff_profiles(
+    labeled: List[Tuple[str, Dict]]
+) -> Tuple[List[str], List[Tuple[str, ...]]]:
+    """Side-by-side phase comparison across recorded profiles.
+
+    Returns ``(header, rows)`` for table rendering: one row per phase
+    (union of all profiles, canonical order), wall milliseconds per
+    profile, and a ratio column against the first profile (the
+    reference) when there are at least two.
+    """
+    names: List[str] = []
+    for _label, profile in labeled:
+        for name in profile_phases(profile):
+            if name not in names:
+                names.append(name)
+    names.sort(key=_phase_sort_key)
+    header = ["phase"]
+    header += [f"{label} ms" for label, _ in labeled]
+    header += [f"{label} calls" for label, _ in labeled]
+    if len(labeled) >= 2:
+        reference = labeled[0][0]
+        header += [
+            f"{label}/{reference}" for label, _ in labeled[1:]
+        ]
+    rows: List[Tuple[str, ...]] = []
+    for name in names:
+        walls: List[Optional[float]] = []
+        calls: List[Optional[int]] = []
+        for _label, profile in labeled:
+            entry = profile_phases(profile).get(name)
+            walls.append(None if entry is None else entry.get("wall_s", 0.0))
+            calls.append(None if entry is None else entry.get("calls", 0))
+        row: List[str] = [name]
+        row += [
+            "-" if wall is None else f"{wall * 1e3:.3f}"
+            for wall in walls
+        ]
+        row += ["-" if c is None else str(c) for c in calls]
+        if len(labeled) >= 2:
+            base = walls[0]
+            for wall in walls[1:]:
+                if wall is None or base is None or base <= 0:
+                    row.append("-")
+                else:
+                    row.append(f"{wall / base:.2f}x")
+        rows.append(tuple(row))
+    return header, rows

@@ -1,0 +1,27 @@
+"""The wall-timing module: every host-clock read in ``repro.obs``.
+
+Observability wants wall durations (phase profiles, span timings) but
+the repo's determinism contract forbids ambient clock reads in
+simulation paths — trial records are content-addressed and
+byte-compared, so a stray ``perf_counter`` in the wrong layer poisons
+the cache.  The resolution is architectural: this module is the *only*
+place the observability layer touches the host clock, it exposes only
+*relative* readings (never ``time.time`` / ``datetime.now``), and the
+``determinism`` lint pass whitelists exactly this file.  Everything
+wall-derived downstream carries ``wall`` in its field or metric name,
+so :func:`repro.obs.strip_wall_fields` can erase all host-time noise
+from a trace in one sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_now() -> float:
+    """A relative host timestamp in seconds (monotonic origin).
+
+    Differences of two readings are wall durations; the absolute
+    value is meaningless and must never be serialised as a date.
+    """
+    return time.perf_counter()

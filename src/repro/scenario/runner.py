@@ -49,6 +49,7 @@ from repro.core.schema import REPORT_SCHEMA_VERSION
 from repro.faults.injector import FaultInjector
 from repro.faults.primitives import FaultSpec, normalize_faults
 from repro.faults.report import ReliabilityReport, build_reliability_report
+from repro.obs.state import OBS
 from repro.power.energy_model import MeasuredEnergyModel
 from repro.scenario.spec import SystemSpec
 from repro.scenario.workload import (
@@ -440,6 +441,52 @@ def run(
     fault_spec = normalize_faults(faults)
     faults_active = bool(fault_spec)
     mode = select_backend(backend, trace, faults_active=faults_active)
+    if not OBS.enabled:
+        return _run_on(
+            mode, spec, workload, trace, timeout_s, setup,
+            fault_spec, faults_active, wall_deadline,
+        )
+    OBS.metrics.inc("run.calls", labels={"backend": mode})
+    tracer = OBS.tracer
+    if tracer is None:
+        return _run_on(
+            mode, spec, workload, trace, timeout_s, setup,
+            fault_spec, faults_active, wall_deadline,
+        )
+    with tracer.span("run", cat="phase", backend=mode):
+        report = _run_on(
+            mode, spec, workload, trace, timeout_s, setup,
+            fault_spec, faults_active, wall_deadline,
+        )
+        # Bus rounds and transactions re-expressed as deterministic
+        # sim-time spans (integer picoseconds, no wall noise).  The
+        # transaction list is equivalence-checked across backends, so
+        # the span tree below is structurally identical on edge, fast
+        # and batch — the cross-backend contract the obs tests pin.
+        for txn in report.transactions:
+            with tracer.sim_span(
+                "bus-round", txn.start_ps, txn.duration_ps, index=txn.index
+            ):
+                with tracer.sim_span(
+                    "transaction", txn.start_ps, txn.duration_ps, ok=txn.ok
+                ):
+                    pass
+    return report
+
+
+def _run_on(
+    mode: str,
+    spec: SystemSpec,
+    workload: Union[Workload, Iterable[ScheduleEvent]],
+    trace: bool,
+    timeout_s: Optional[float],
+    setup: Optional[Callable[[MBusSystem], Any]],
+    fault_spec: Any,
+    faults_active: bool,
+    wall_deadline: Optional[float],
+) -> RunReport:
+    """The backend dispatch body of :func:`run`, factored out so the
+    observability wrapper above can enclose it in a ``run`` span."""
     if mode == "batch":
         if setup is not None:
             raise ConfigurationError(
@@ -455,59 +502,63 @@ def run(
         return _run_batch(
             spec, workload, timeout_s=timeout_s, wall_deadline=wall_deadline
         )
-    system = spec.build(mode=mode, trace=trace)
-    injector = None
-    if faults_active:
-        injector = FaultInjector(system, fault_spec, spec)
-        injector.arm()
-    if setup is not None:
-        setup(system)
-    for event in _compile(workload, spec):
-        at_ps = int(round(event.at_s * PS_PER_S))
-        if isinstance(event, PostEvent):
-            system.sim.schedule_at(at_ps, _post_fn(system, event))
-        else:
-            system.sim.schedule_at(at_ps, _interrupt_fn(system, event))
+    with OBS.phase("compile"):
+        system = spec.build(mode=mode, trace=trace)
+        injector = None
+        if faults_active:
+            injector = FaultInjector(system, fault_spec, spec)
+            injector.arm()
+        if setup is not None:
+            setup(system)
+        for event in _compile(workload, spec):
+            at_ps = int(round(event.at_s * PS_PER_S))
+            if isinstance(event, PostEvent):
+                system.sim.schedule_at(at_ps, _post_fn(system, event))
+            else:
+                system.sim.schedule_at(at_ps, _interrupt_fn(system, event))
     start = time.perf_counter()
-    try:
-        # Under active faults a run may legitimately end with member
-        # engines desynchronised (e.g. dropped CLK edges leave them
-        # mid-control until the next transaction resyncs them); that
-        # is a *finding*, recorded as ``reliability.bus_idle``, not a
-        # simulation error.
-        system.run_until_idle(
-            timeout_s=timeout_s,
-            require_idle=not faults_active,
-            wall_deadline=wall_deadline,
-        )
-    finally:
-        if injector is not None:
-            injector.finalize()
+    with OBS.phase("execute"):
+        try:
+            # Under active faults a run may legitimately end with member
+            # engines desynchronised (e.g. dropped CLK edges leave them
+            # mid-control until the next transaction resyncs them); that
+            # is a *finding*, recorded as ``reliability.bus_idle``, not a
+            # simulation error.
+            system.run_until_idle(
+                timeout_s=timeout_s,
+                require_idle=not faults_active,
+                wall_deadline=wall_deadline,
+            )
+        finally:
+            if injector is not None:
+                injector.finalize()
     wall_s = time.perf_counter() - start
-    reliability = None
-    if fault_spec is not None:
-        reliability = build_reliability_report(
-            spec,
-            workload,
-            fault_spec,
-            list(system.transactions),
-            injector=injector,
+    with OBS.phase("serialize"):
+        reliability = None
+        if fault_spec is not None:
+            reliability = build_reliability_report(
+                spec,
+                workload,
+                fault_spec,
+                list(system.transactions),
+                injector=injector,
+                system=system,
+            )
+        report = RunReport(
+            backend=mode,
+            spec=spec,
+            transactions=list(system.transactions),
+            power=system.power_domain_report(),
+            wire_activity=system.wire_activity(),
+            sim_time_s=system.sim.now / PS_PER_S,
+            wall_s=wall_s,
+            events_processed=system.sim.events_processed,
+            workload=workload if isinstance(workload, Workload) else None,
+            faults=fault_spec,
+            reliability=reliability,
             system=system,
         )
-    return RunReport(
-        backend=mode,
-        spec=spec,
-        transactions=list(system.transactions),
-        power=system.power_domain_report(),
-        wire_activity=system.wire_activity(),
-        sim_time_s=system.sim.now / PS_PER_S,
-        wall_s=wall_s,
-        events_processed=system.sim.events_processed,
-        workload=workload if isinstance(workload, Workload) else None,
-        faults=fault_spec,
-        reliability=reliability,
-        system=system,
-    )
+    return report
 
 
 def _run_batch(
@@ -530,31 +581,35 @@ def _run_batch(
         materialize,
     )
 
-    schedule = _compile(workload, spec)
-    csys = compile_system_cached(spec)
-    cwl = compile_workload(schedule, csys)
+    with OBS.phase("compile"):
+        schedule = _compile(workload, spec)
+        csys = compile_system_cached(spec)
+        cwl = compile_workload(schedule, csys)
     # Matches run_until_idle's horizon arithmetic (sim starts at 0).
     until = None if timeout_s is None else int(timeout_s * 1e12)
     start = time.perf_counter()
-    result = BatchExecutor(csys, cwl).run(
-        until=until, wall_deadline=wall_deadline
-    )
-    transactions, power, wire = materialize(csys, result)
-    wall_s = time.perf_counter() - start
-    return RunReport(
-        backend="batch",
-        spec=spec,
-        transactions=transactions,
-        power=power,
-        wire_activity=wire,
-        sim_time_s=result.end_ps / PS_PER_S,
-        wall_s=wall_s,
-        events_processed=result.steps,
-        workload=workload if isinstance(workload, Workload) else None,
-        faults=None,
-        reliability=None,
-        system=None,
-    )
+    with OBS.phase("execute"):
+        result = BatchExecutor(csys, cwl).run(
+            until=until, wall_deadline=wall_deadline
+        )
+    with OBS.phase("serialize"):
+        transactions, power, wire = materialize(csys, result)
+        wall_s = time.perf_counter() - start
+        report = RunReport(
+            backend="batch",
+            spec=spec,
+            transactions=transactions,
+            power=power,
+            wire_activity=wire,
+            sim_time_s=result.end_ps / PS_PER_S,
+            wall_s=wall_s,
+            events_processed=result.steps,
+            workload=workload if isinstance(workload, Workload) else None,
+            faults=None,
+            reliability=None,
+            system=None,
+        )
+    return report
 
 
 @dataclass

@@ -39,6 +39,7 @@ from repro.core.tlm_engine import (
     TransactionPlan,
     plan_round,
 )
+from repro.obs.state import OBS
 
 
 class FastPathBackend:
@@ -294,6 +295,8 @@ class FastPathBackend:
         for pos, count in plan.wire_activity.items():
             self._wire_activity[self.nodes[pos].name] += count
         self.system._assemble_result(report)
+        if OBS.enabled:
+            OBS.metrics.inc("fastpath.rounds")
 
         request_falls = self._pump_after_round(plan)
         self._schedule_auto_sleeps(plan, request_falls)

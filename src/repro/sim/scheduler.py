@@ -12,6 +12,8 @@ import heapq
 import time
 from typing import Callable, List, Optional
 
+from repro.obs.state import OBS
+
 #: Convenience time constants, all in integer picoseconds.
 PS = 1
 NS = 1_000
@@ -155,6 +157,24 @@ class Simulator:
         realistic hang is a simulation that keeps making progress, and
         hard preemption belongs to the process executor's worker kill.
         """
+        try:
+            self._run_loop(until, max_events, wall_deadline)
+        finally:
+            # One guard check per run() call (not per event): the
+            # scheduler's contribution to the metrics plane is the
+            # event count it already maintains.
+            if OBS.enabled:
+                OBS.metrics.inc("sim.run_calls")
+                OBS.metrics.set("sim.events_processed",
+                                self._events_processed)
+                OBS.metrics.set("sim.now_ps", self._now)
+
+    def _run_loop(
+        self,
+        until: Optional[int],
+        max_events: int,
+        wall_deadline: Optional[float],
+    ) -> None:
         fired = 0
         check_wall = wall_deadline is not None
         while self._queue:

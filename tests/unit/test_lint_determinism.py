@@ -78,6 +78,25 @@ def test_relative_clock_allowed_in_wall_module_only(tmp_path):
     assert "whitelist" in flagged[0].message
 
 
+def test_relative_clock_allowed_in_obs_wallclock(tmp_path):
+    clean = lint(tmp_path, {
+        "obs/wallclock.py": (
+            "import time\n"
+            "wall_now = time.perf_counter\n"
+            "t0 = time.perf_counter()\n"
+        ),
+    })
+    assert clean == []
+    flagged = lint(tmp_path / "other", {
+        "obs/tracer.py": (
+            "import time\n"
+            "t0 = time.perf_counter()\n"
+        ),
+    })
+    assert len(flagged) == 1
+    assert "whitelist" in flagged[0].message
+
+
 def test_datetime_now_flagged(tmp_path):
     findings = lint(tmp_path, {
         "m.py": (

@@ -1,0 +1,358 @@
+"""Unit tests for repro.obs: tracer, metrics, profiler, state guard.
+
+The determinism contract under test: every host-time-derived field or
+metric name carries ``wall``, so :func:`strip_wall_fields` separates
+a trace into a byte-comparable deterministic core plus discardable
+timing noise.  Integration-level byte comparisons across backends
+live in tests/integration/test_obs_runner.py.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    OBS,
+    MetricsRegistry,
+    ObsSession,
+    PhaseProfiler,
+    Tracer,
+    observe,
+    strip_wall_fields,
+)
+from repro.obs.profiler import diff_profiles, format_profile
+from repro.obs.tracer import (
+    SIM_PID,
+    WALL_PID,
+    canonical_line,
+    chrome_trace,
+    load_trace,
+    span_structure,
+    trace_records,
+    validate_trace,
+    write_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry.
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2)
+        assert reg.counter("a").value == 3
+
+    def test_labels_encode_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", labels={"backend": "edge", "mode": "x"})
+        reg.inc("runs", labels={"mode": "x", "backend": "edge"})
+        snap = reg.snapshot()
+        assert snap["counters"] == {"runs{backend=edge,mode=x}": 2}
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set("depth", 5)
+        reg.set("depth", 2)
+        assert reg.snapshot()["gauges"] == {"depth": 2}
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for value in (3, 1, 2):
+            reg.observe("lat", value)
+        assert reg.snapshot()["histograms"]["lat"] == {
+            "count": 3, "sum": 6, "min": 1, "max": 3,
+        }
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        assert reg.snapshot()["histograms"]["lat"] == {
+            "count": 0, "sum": 0, "min": 0, "max": 0,
+        }
+
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            reg.inc(name)
+        assert list(reg.snapshot()["counters"]) == ["a", "m", "z"]
+
+    def test_len_counts_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set("g", 1)
+        reg.observe("h", 1)
+        assert len(reg) == 3
+
+
+# ----------------------------------------------------------------------
+# Tracer.
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_assigns_sequential_ids_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("run", backend="edge"):
+            with tracer.span("compile"):
+                pass
+            with tracer.span("execute"):
+                pass
+        ids = [(s.id, s.parent, s.name) for s in tracer.spans]
+        assert ids == [
+            (0, None, "run"), (1, 0, "compile"), (2, 0, "execute"),
+        ]
+
+    def test_span_records_wall_fields_only(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            pass
+        span = tracer.spans[0].to_dict()
+        assert span["t0_ps"] is None
+        assert span["wall_t0_s"] is not None
+        assert span["wall_dur_s"] >= 0.0
+
+    def test_sim_span_has_no_wall_fields(self):
+        tracer = Tracer()
+        with tracer.sim_span("bus-round", 100, 50, index=0):
+            pass
+        span = tracer.spans[0].to_dict()
+        assert (span["t0_ps"], span["dur_ps"]) == (100, 50)
+        assert span["wall_t0_s"] is None
+        assert span["wall_dur_s"] is None
+
+    def test_emit_leaf_backdates_wall_start(self):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            span = tracer.emit("trial", index=3, wall_dur_s=0.5)
+        assert span.parent == 0
+        assert span.wall_dur_s == 0.5
+        assert span.wall_t0_s is not None
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer._open("outer", "phase", None)
+        tracer._open("inner", "phase", None)
+        with pytest.raises(RuntimeError):
+            tracer._close(outer)
+
+    def test_span_structure_ignores_args_and_timing(self):
+        tracer = Tracer()
+        with tracer.span("run", backend="edge"):
+            with tracer.span("compile"):
+                pass
+            with tracer.sim_span("bus-round", 0, 10):
+                with tracer.sim_span("transaction", 0, 10):
+                    pass
+        expected = (
+            ("run", (
+                ("compile", ()),
+                ("bus-round", (("transaction", ()),)),
+            )),
+        )
+        assert span_structure(tracer.spans) == expected
+        assert span_structure(tracer.records()) == expected
+
+
+# ----------------------------------------------------------------------
+# Trace files: canonical JSONL, wall stripping, validation, Chrome.
+# ----------------------------------------------------------------------
+class TestTraceFiles:
+    def traced(self):
+        tracer = Tracer()
+        with tracer.span("run", backend="edge"):
+            with tracer.sim_span("bus-round", 0, 10, index=0):
+                pass
+        return tracer
+
+    def test_trace_records_header_first(self):
+        records = trace_records(self.traced(), meta={"label": "t"})
+        assert records[0]["type"] == "meta"
+        assert records[0]["kind"] == "repro-trace"
+        assert records[0]["label"] == "t"
+        assert "schema_version" in records[0]
+
+    def test_canonical_line_is_sorted_and_compact(self):
+        line = canonical_line({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_strip_wall_fields_recursive(self):
+        value = {
+            "wall_dur_s": 1.0,
+            "args": [{"wall_t0_s": 2.0, "dur_ps": 5}],
+            "retry_backoff_wall_s": 3.0,
+            "dur_ps": 7,
+        }
+        assert strip_wall_fields(value) == {
+            "args": [{"dur_ps": 5}], "dur_ps": 7,
+        }
+
+    def test_write_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = self.traced()
+        n = write_trace(
+            path, tracer,
+            meta={"label": "t"},
+            metrics={"counters": {"x": 1}},
+            profile={"phases": {"execute": {"calls": 1, "wall_s": 0.1}}},
+        )
+        assert n == 1 + len(tracer.spans) + 2
+        doc = load_trace(path)
+        assert doc.label == "t"
+        assert len(doc.spans) == 2
+        assert doc.metrics == {"counters": {"x": 1}}
+        assert doc.profile["phases"]["execute"]["calls"] == 1
+
+    def test_validate_trace_clean(self):
+        records = trace_records(self.traced(), meta={"label": "t"})
+        assert validate_trace(records) == []
+
+    def test_validate_trace_problems(self):
+        assert validate_trace([]) == ["empty trace"]
+        no_meta = validate_trace([
+            {"type": "span", "id": 0, "parent": None, "cat": "phase"},
+        ])
+        assert any("meta header" in p for p in no_meta)
+        orphan = validate_trace([
+            {"type": "meta"},
+            {"type": "span", "id": 1, "parent": 0, "cat": "phase"},
+        ])
+        assert any("parent 0" in p for p in orphan)
+        bad_cat = validate_trace([
+            {"type": "meta"},
+            {"type": "span", "id": 0, "parent": None, "cat": "nope"},
+        ])
+        assert any("unknown category" in p for p in bad_cat)
+        dup = validate_trace([
+            {"type": "meta"},
+            {"type": "span", "id": 0, "parent": None, "cat": "phase"},
+            {"type": "span", "id": 0, "parent": None, "cat": "phase"},
+        ])
+        assert any("duplicate" in p or "increasing" in p for p in dup)
+
+    def test_chrome_trace_tracks_and_floor(self):
+        records = trace_records(self.traced())
+        doc = chrome_trace(records)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {WALL_PID, SIM_PID}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 1e-6 for e in xs)
+        sim = [e for e in xs if e["pid"] == SIM_PID]
+        assert sim and sim[0]["name"] == "bus-round"
+        # the JSON must be loadable as Chrome expects
+        json.loads(json.dumps(doc))
+
+
+# ----------------------------------------------------------------------
+# Profiler.
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_add_accumulates(self):
+        prof = PhaseProfiler()
+        prof.add("execute", 0.25)
+        prof.add("execute", 0.75, calls=2)
+        phases = prof.to_dict()["phases"]
+        assert phases["execute"]["calls"] == 3
+        assert phases["execute"]["wall_s"] == pytest.approx(1.0)
+
+    def test_phase_context_times(self):
+        prof = PhaseProfiler()
+        with prof.phase("compile"):
+            pass
+        assert prof.to_dict()["phases"]["compile"]["calls"] == 1
+
+    def test_canonical_phase_order(self):
+        prof = PhaseProfiler()
+        for name in ("serialize", "compile", "zeta", "execute"):
+            prof.add(name, 0.1)
+        assert list(prof.to_dict()["phases"]) == [
+            "compile", "execute", "serialize", "zeta",
+        ]
+
+    def test_format_profile_renders_shares(self):
+        text = format_profile("edge", {
+            "phases": {
+                "compile": {"calls": 1, "wall_s": 0.25},
+                "execute": {"calls": 4, "wall_s": 0.75},
+            },
+        })
+        assert "profile: edge" in text
+        assert "75.0%" in text
+
+    def test_diff_profiles_ratio_column(self):
+        header, rows = diff_profiles([
+            ("edge", {"phases": {"execute": {"calls": 1, "wall_s": 0.2}}}),
+            ("fast", {"phases": {"execute": {"calls": 1, "wall_s": 0.1}}}),
+        ])
+        assert header[-1] == "fast/edge"
+        (row,) = rows
+        assert row[0] == "execute"
+        assert row[-1] == "0.50x"
+
+    def test_diff_profiles_missing_phase_dashes(self):
+        _header, rows = diff_profiles([
+            ("a", {"phases": {"compile": {"calls": 1, "wall_s": 0.1}}}),
+            ("b", {"phases": {"execute": {"calls": 1, "wall_s": 0.1}}}),
+        ])
+        by_phase = {row[0]: row for row in rows}
+        assert by_phase["execute"][1] == "-"
+        assert by_phase["compile"][2] == "-"
+
+
+# ----------------------------------------------------------------------
+# The OBS switchboard.
+# ----------------------------------------------------------------------
+class TestState:
+    def test_disabled_by_default(self):
+        assert OBS.enabled is False
+        assert OBS.metrics is None
+
+    def test_observe_scopes_and_restores(self):
+        with observe() as session:
+            assert OBS.enabled is True
+            assert OBS.metrics is session.metrics
+            OBS.metrics.inc("x")
+        assert OBS.enabled is False
+        assert OBS.tracer is None
+        # the detached session stays readable after the block
+        assert isinstance(session, ObsSession)
+        assert session.metrics.snapshot()["counters"] == {"x": 1}
+
+    def test_observe_nests(self):
+        with observe() as outer:
+            with observe() as inner:
+                OBS.metrics.inc("inner")
+            assert OBS.enabled is True
+            assert OBS.metrics is outer.metrics
+            OBS.metrics.inc("outer")
+        assert inner.metrics.snapshot()["counters"] == {"inner": 1}
+        assert outer.metrics.snapshot()["counters"] == {"outer": 1}
+
+    def test_facets_opt_out(self):
+        with observe(trace=False, profile=False) as session:
+            assert OBS.tracer is None
+            assert OBS.profiler is None
+            assert OBS.metrics is not None
+        assert session.tracer is None
+
+    def test_phase_disabled_is_noop_context(self):
+        with OBS.phase("execute"):
+            pass
+        assert OBS.enabled is False
+
+    def test_phase_enabled_spans_and_profiles(self):
+        with observe() as session:
+            with OBS.phase("execute", backend="edge"):
+                pass
+        assert [s.name for s in session.tracer.spans] == ["execute"]
+        assert session.profiler.to_dict()["phases"]["execute"]["calls"] == 1
+
+    def test_profiled_counts_without_span(self):
+        with observe() as session:
+            with OBS.profiled("plan_round", "tlm.plan_round_calls"):
+                pass
+        assert session.tracer.spans == []
+        snap = session.metrics.snapshot()
+        assert snap["counters"]["tlm.plan_round_calls"] == 1
+        assert session.profiler.to_dict()["phases"]["plan_round"]["calls"] == 1
