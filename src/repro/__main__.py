@@ -49,6 +49,19 @@ Commands
     any reported trial failed.
 ``campaign compact CAMPAIGN.json --store DIR``
     Rewrite the store file, dropping superseded duplicate records.
+``serve --root DIR [--host H] [--port P] [--queue-depth N] [--rate R] [--burst B]``
+    Run the campaign server (:mod:`repro.serve`): accept campaign
+    submissions over HTTP, execute them through the shared
+    content-addressed store (dedupe across clients and restarts),
+    stream results as JSONL, and journal jobs so a restarted server
+    resumes in-flight campaigns at trial boundaries.  Exits 130 on
+    SIGINT/SIGTERM (after checkpointing).
+``campaign submit CAMPAIGN.json [--server HOST:PORT] [--client NAME] [--watch]``
+    Submit a campaign document to a running server; with ``--watch``
+    follow it to completion (exit 1 if any trial failed).
+``campaign watch JOB_ID [--server HOST:PORT] [--output PATH]``
+    Follow a submitted job to a terminal state, optionally writing
+    its streamed result records as JSONL.
 ``fuzz [--count N] [--seed S] [--faults-fraction F] [--repro-dir DIR] [--backends LIST]``
     Differential fuzzing: seeded scenarios cross-checked across the
     backend matrix (``--backends edge,fast,batch`` adds the compiled
@@ -439,7 +452,7 @@ def _cmd_campaign_results(args) -> int:
     from repro.campaign import ResultSet, ResultStore, TrialResult, load_campaign
 
     campaign = load_campaign(args.campaign)
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, readonly=True)
     stored = [
         TrialResult(trial=trial, record=record, cached=True)
         for trial in campaign.trials()
@@ -489,13 +502,33 @@ def _cmd_campaign_compact(args) -> int:
     return 0
 
 
+def _cmd_campaign_submit(args) -> int:
+    from repro.serve.cli import cmd_campaign_submit
+
+    return cmd_campaign_submit(args)
+
+
+def _cmd_campaign_watch(args) -> int:
+    from repro.serve.cli import cmd_campaign_watch
+
+    return cmd_campaign_watch(args)
+
+
 def _cmd_campaign(args) -> int:
     return {
         "run": _cmd_campaign_run,
         "status": _cmd_campaign_status,
         "results": _cmd_campaign_results,
         "compact": _cmd_campaign_compact,
+        "submit": _cmd_campaign_submit,
+        "watch": _cmd_campaign_watch,
     }[args.campaign_command](args)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.cli import cmd_serve
+
+    return cmd_serve(args)
 
 
 def _cmd_trace(args) -> int:
@@ -778,12 +811,138 @@ def main(argv=None) -> int:
         action="store_true",
         help="show only trials whose stored record is a failure",
     )
+    campaign_submit = campaign_sub.add_parser(
+        "submit",
+        help="submit a campaign document to a running campaign server",
+        epilog="exit codes: 0 accepted (with --watch: all trials ok), "
+               "1 rejected or failed trials, 2 usage error, "
+               "130 interrupted (the job keeps running server-side)",
+    )
+    campaign_submit.add_argument(
+        "campaign", help="path to a campaign JSON document"
+    )
+    campaign_watch = campaign_sub.add_parser(
+        "watch",
+        help="follow a submitted job to completion, optionally "
+             "streaming its results",
+        epilog="exit codes: 0 job done with no failed trials, 1 failed "
+               "trials or watch timeout, 2 usage error or unknown job, "
+               "130 interrupted",
+    )
+    campaign_watch.add_argument(
+        "job_id", help="job id returned by 'campaign submit'"
+    )
+    for command in (campaign_submit, campaign_watch):
+        command.add_argument(
+            "--server",
+            default="127.0.0.1:8642",
+            metavar="HOST:PORT",
+            help="campaign server address (default: 127.0.0.1:8642)",
+        )
+        command.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="give up watching after this long (the job itself "
+                 "keeps running server-side)",
+        )
+        command.add_argument(
+            "--output",
+            metavar="PATH",
+            help="write the job's streamed result records as JSONL",
+        )
+        command.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+    campaign_submit.add_argument(
+        "--client",
+        default="anonymous",
+        metavar="NAME",
+        help="client token for rate limiting and dedupe accounting "
+             "(default: anonymous)",
+    )
+    campaign_submit.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="server-side trial executor (default: serial)",
+    )
+    campaign_submit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --executor process",
+    )
+    campaign_submit.add_argument(
+        "--wall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="server-side wall-clock budget per trial",
+    )
+    campaign_submit.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-execute trials whose cached record is a failure",
+    )
+    campaign_submit.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help="re-execute every cached failure, quarantined ones included",
+    )
+    campaign_submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="follow the job to completion (like 'campaign watch')",
+    )
     for command in (campaign_run, campaign_results):
         command.add_argument(
             "--output",
             metavar="PATH",
             help="write one canonical record per line (JSONL)",
         )
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the campaign server (submissions over HTTP, shared "
+             "dedupe store, streaming results, restart survival)",
+        epilog="exit codes: 0 clean shutdown, 2 usage error (bad root "
+               "or bind failure), 130 stopped by SIGINT/SIGTERM "
+               "(checkpointed; restart to resume in-flight jobs)",
+    )
+    serve_cmd.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="server state directory (results store + job journal); "
+             "omitted = in-memory (no restart survival)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8642,
+        help="port to bind (default: 8642; 0 = ephemeral)",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="max queued jobs across all clients before 503 "
+             "(default: 16)",
+    )
+    serve_cmd.add_argument(
+        "--rate", type=float, default=10.0, metavar="PER_S",
+        help="per-client sustained submissions/s before 429 "
+             "(default: 10)",
+    )
+    serve_cmd.add_argument(
+        "--burst", type=float, default=20.0, metavar="N",
+        help="per-client submission burst size (default: 20)",
+    )
+    serve_cmd.add_argument(
+        "--no-obs", action="store_true",
+        help="disable repro.obs metrics/profiling (empties /v1/metrics)",
+    )
     trace_cmd = sub.add_parser(
         "trace",
         help="execute a scenario with observability on and record "
@@ -941,6 +1100,7 @@ def main(argv=None) -> int:
         "fuzz": _cmd_fuzz,
         "reliability": _cmd_reliability,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
     }[args.command](args)
 
 

@@ -94,12 +94,12 @@ StoreLike = Union[ResultStore, str, None]
 ProgressCallback = Callable[[int, int, TrialResult], None]
 
 
-def _as_store(store: StoreLike) -> ResultStore:
+def _as_store(store: StoreLike, readonly: bool = False) -> ResultStore:
     if store is None:
         return ResultStore.memory()
     if isinstance(store, ResultStore):
         return store
-    return ResultStore(store)
+    return ResultStore(store, readonly=readonly)
 
 
 @dataclass
@@ -507,8 +507,13 @@ class Campaign:
         by outcome: per-outcome counts (``ok`` / ``error`` /
         ``timeout`` / ``crashed``), total retries spent (attempts
         beyond the first, summed over failure records), and the
-        quarantine list (trial indices)."""
-        live_store = _as_store(store)
+        quarantine list (trial indices).
+
+        A path store is opened *readonly*: status is an observer, and
+        must tolerate (never truncate) the torn tail of a log another
+        process — a running campaign, the campaign server — is
+        actively appending to."""
+        live_store = _as_store(store, readonly=True)
         trials = self.trials()
         cached = failed = retries = 0
         outcomes = {"ok": 0, "error": 0, "timeout": 0, "crashed": 0}

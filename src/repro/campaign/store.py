@@ -33,6 +33,19 @@ Properties the campaign layer leans on:
   ignore keys they do not understand; records stamped with a newer
   ``schema_version`` still load (the ``lenient`` loaders reconstruct
   objects from their documents by dropping unknown fields).
+* **indexed** — loading builds an in-memory ``key -> record`` index
+  once; membership (``key in store``) and :meth:`get` are O(1) dict
+  lookups that never re-read the JSONL (the lookup surface the
+  campaign server's dedupe path and ``campaign status`` lean on).
+  :meth:`refresh` picks up records appended by *another* process by
+  reading only the file tail past the last consumed byte.
+* **observer-safe** — ``readonly=True`` opens a store without ever
+  writing: a torn tail is tolerated in memory (the rollback happens
+  on the parsed bytes, not the file), auto-compaction is off and
+  :meth:`put` refuses.  This is the mode for ``campaign status`` /
+  ``results`` style observers of a store another process is actively
+  appending to — a plain open used to *truncate* the live file to
+  roll back a torn tail, racing the writer.
 
 ``ResultStore.memory()`` gives the same interface with no filesystem
 behind it — the default scratch cache for one-off campaign runs.
@@ -63,17 +76,26 @@ class ResultStore:
         self,
         path: Union[str, Path, None],
         auto_compact: bool = True,
+        readonly: bool = False,
     ):
         self._path: Optional[Path] = None if path is None else Path(path)
+        self._readonly = readonly
         self._records: Dict[str, Dict] = {}
         self._lines: Dict[str, str] = {}
         self._order: List[str] = []
         self._stale = 0
+        #: Bytes of the log consumed so far (complete lines only) —
+        #: the resume point for :meth:`refresh`.
+        self._offset = 0
         if self._path is not None:
-            self._path.mkdir(parents=True, exist_ok=True)
+            if not readonly:
+                self._path.mkdir(parents=True, exist_ok=True)
             self._load()
-            if auto_compact and self._stale > max(
-                len(self._records), AUTO_COMPACT_MIN_STALE
+            if (
+                not readonly
+                and auto_compact
+                and self._stale
+                > max(len(self._records), AUTO_COMPACT_MIN_STALE)
             ):
                 self.compact()
 
@@ -92,6 +114,10 @@ class ResultStore:
         if self._path is None:
             return None
         return self._path / RESULTS_FILENAME
+
+    @property
+    def readonly(self) -> bool:
+        return self._readonly
 
     def __len__(self) -> int:
         return len(self._records)
@@ -130,6 +156,12 @@ class ResultStore:
         existing key is appended (the log keeps history; the index
         takes the newest).
         """
+        if self._readonly:
+            raise ConfigurationError(
+                "this store was opened readonly (an observer of a log "
+                "another process is appending to); open it without "
+                "readonly=True to write"
+            )
         key = record.get("key")
         if not isinstance(key, str) or not key:
             raise ConfigurationError(
@@ -149,6 +181,7 @@ class ResultStore:
                 handle.write(line + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+            self._offset += len(line.encode("utf-8")) + 1
         return True
 
     # -- loading -----------------------------------------------------------
@@ -158,11 +191,24 @@ class ResultStore:
             return
         raw = path.read_bytes()
         if raw and not raw.endswith(b"\n"):
-            # A torn append (killed mid-write): roll back to the last
-            # complete line so subsequent appends start clean.
+            # A torn tail: either a killed writer (mid-append) or a
+            # *live* writer another process is racing us with.  The
+            # rollback to the last complete line always happens on the
+            # parsed bytes; only a writable open also rolls the file
+            # itself back (so its own appends start clean).  A
+            # readonly observer must never truncate a log someone else
+            # is appending to.
             keep = raw.rfind(b"\n") + 1
-            path.write_bytes(raw[:keep])
+            if not self._readonly:
+                path.write_bytes(raw[:keep])
             raw = raw[:keep]
+        self._consume(raw)
+        self._offset = len(raw)
+
+    def _consume(self, raw: bytes) -> int:
+        """Index complete record lines from ``raw``; returns how many
+        lines carried a key (new or superseding)."""
+        indexed = 0
         for line in raw.decode("utf-8", errors="replace").splitlines():
             line = line.strip()
             if not line:
@@ -184,6 +230,40 @@ class ResultStore:
                 self._stale += 1
             self._records[key] = record
             self._lines[key] = line
+            indexed += 1
+        return indexed
+
+    def refresh(self) -> int:
+        """Pick up records another process appended since the last
+        load/refresh, reading only the unseen tail of the log (the
+        in-memory index stays O(1) for lookups; nothing is rescanned).
+        A torn last line is left unconsumed for the next refresh; a
+        log that *shrank* (externally compacted) triggers one full
+        reload.  Returns the number of record lines consumed."""
+        path = self.results_path
+        if path is None or not path.exists():
+            return 0
+        size = path.stat().st_size
+        if size < self._offset:
+            # Externally compacted/rewritten: start over.
+            self._records.clear()
+            self._lines.clear()
+            self._order.clear()
+            self._stale = 0
+            self._offset = 0
+        if size == self._offset:
+            return 0
+        with open(path, "rb") as handle:
+            handle.seek(self._offset)
+            raw = handle.read()
+        if raw and not raw.endswith(b"\n"):
+            keep = raw.rfind(b"\n") + 1
+            raw = raw[:keep]   # leave the torn tail for next time
+        if not raw:
+            return 0
+        consumed = self._consume(raw)
+        self._offset += len(raw)
+        return consumed
 
     # -- compaction --------------------------------------------------------
     def compact(self) -> int:
@@ -193,16 +273,24 @@ class ResultStore:
         stale lines reclaimed; a no-op for memory stores and for logs
         that are already compact.
         """
+        if self._readonly:
+            raise ConfigurationError(
+                "cannot compact a store opened readonly"
+            )
         reclaimed = self._stale
         if self._path is None or reclaimed == 0:
             return 0
         path = self.results_path
         tmp = path.with_suffix(".jsonl.tmp")
+        written = 0
         with open(tmp, "w") as handle:
             for key in self._order:
-                handle.write(self._lines[key] + "\n")
+                line = self._lines[key] + "\n"
+                handle.write(line)
+                written += len(line.encode("utf-8"))
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         self._stale = 0
+        self._offset = written
         return reclaimed

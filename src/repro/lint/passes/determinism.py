@@ -31,6 +31,8 @@ WALL_CLOCK_MODULES: Set[str] = {
     "scenario/runner.py",
     "batch/executor.py",
     "obs/wallclock.py",
+    "serve/scheduler.py",   # token-bucket refill over time.monotonic
+    "serve/client.py",      # watch polling deadlines
 }
 
 #: Modules allowed to read the process environment (documented

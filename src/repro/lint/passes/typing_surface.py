@@ -2,7 +2,8 @@
 
 The mypy gate (``mypy.ini``) enforces ``disallow_incomplete_defs``
 and ``no_implicit_optional`` on ``repro.core`` / ``repro.scenario``
-/ ``repro.campaign``; this pass checks the same surface locally so a
+/ ``repro.campaign`` / ``repro.serve``; this pass checks the same
+surface locally so a
 missing annotation fails ``python -m repro lint`` even on machines
 without mypy installed.  Public = module-level functions and methods
 of module-level classes whose names don't start with ``_``
@@ -18,7 +19,7 @@ from repro.lint.framework import FileContext, Finding, lint_pass
 
 #: Packages whose public surfaces must be fully annotated (the same
 #: set mypy.ini gates in CI).
-TYPED_PACKAGES = ("core/", "scenario/", "campaign/")
+TYPED_PACKAGES = ("core/", "scenario/", "campaign/", "serve/")
 
 _SKIP_ARGS = {"self", "cls"}
 

@@ -1,0 +1,294 @@
+"""Campaign server integration: the HTTP surface end to end.
+
+Each test runs a real :class:`CampaignServer` on an ephemeral port
+(in a background thread holding its own asyncio loop) and drives it
+with the blocking :class:`ServeClient` — exactly the production
+topology, minus the process boundary.  The restart test covers the
+PR's acceptance bar: a server stopped mid-campaign checkpoints,
+a restarted server resumes the journaled job at the trial boundary,
+and the final streamed results are byte-identical to a local
+``campaign run`` of the same document.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.campaign import Campaign, Grid, ResultStore, canonical_json
+from repro.core import Address
+from repro.scenario import Burst, NodeSpec, SystemSpec
+from repro.serve import (
+    CampaignServer,
+    Scheduler,
+    ServeClient,
+    ServeError,
+    SubmitOptions,
+)
+
+SPEC = SystemSpec(
+    name="serve-int-three-chip",
+    clock_hz=400_000.0,
+    nodes=(
+        NodeSpec("m", short_prefix=0x1, is_mediator=True),
+        NodeSpec("a", short_prefix=0x2),
+        NodeSpec("b", short_prefix=0x3),
+    ),
+)
+
+BURST = Burst("m", Address.short(0x2, 5), bytes(range(4)), count=2)
+
+
+def campaign_doc(name="serve-int", counts=(1, 2)):
+    return Campaign(
+        spec=SPEC,
+        workload=BURST,
+        grid=Grid.product(**{"workload.count": list(counts)}),
+        name=name,
+    ).to_dict()
+
+
+class ServerThread:
+    """A live server on an ephemeral port, in a background loop."""
+
+    def __init__(self, root=None, **scheduler_kwargs):
+        self.scheduler = Scheduler(root=root, **scheduler_kwargs)
+        self.server = CampaignServer(self.scheduler, port=0)
+        self._loop = None
+        self._stop = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(10), "server did not start"
+        return self
+
+    def __exit__(self, *_exc):
+        self.stop()
+
+    def stop(self):
+        """Graceful shutdown: what the CLI's SIGTERM handler does —
+        the scheduler checkpoints an in-flight campaign at its next
+        trial boundary and journals it back to queued."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive()
+
+    def client(self):
+        return ServeClient(port=self.server.port)
+
+
+class TestHTTPSurface:
+    def test_healthz_and_unknown_routes(self):
+        with ServerThread() as live:
+            client = live.client()
+            health = client.healthz()
+            assert health["ok"] is True
+            assert health["jobs"] == {}
+            with pytest.raises(ServeError) as exc:
+                client._request("GET", "/v1/nope")
+            assert exc.value.status == 404
+            with pytest.raises(ServeError) as exc:
+                client._request("POST", "/v1/healthz", body={})
+            assert exc.value.status == 405
+
+    def test_submit_watch_results_and_listing(self):
+        with ServerThread() as live:
+            client = live.client()
+            status, created = client.submit(
+                campaign_doc(), client="alice"
+            )
+            assert created
+            assert status.state in ("queued", "running")
+            final = client.watch(status.job_id, poll_s=0.02, timeout_s=60)
+            assert final.ok
+            assert final.done == final.n_trials == 2
+            records = list(client.results(status.job_id))
+            assert len(records) == 2
+            assert all("key" in record for record in records)
+            listed = client.jobs()
+            assert [j.job_id for j in listed] == [status.job_id]
+
+    def test_submit_bad_document_is_400(self):
+        with ServerThread() as live:
+            client = live.client()
+            with pytest.raises(ServeError) as exc:
+                client.submit({"system": {"nodes": []}})
+            assert exc.value.status == 400
+            with pytest.raises(ServeError) as exc:
+                client._request("POST", "/v1/campaigns", body={"x": 1})
+            assert exc.value.status == 400
+
+    def test_unknown_job_is_404(self):
+        with ServerThread() as live:
+            client = live.client()
+            with pytest.raises(ServeError) as exc:
+                client.status("no-such-job")
+            assert exc.value.status == 404
+            with pytest.raises(ServeError) as exc:
+                list(client.results("no-such-job"))
+            assert exc.value.status == 404
+
+    def test_rate_limit_answers_429_with_retry_after(self):
+        with ServerThread(rate_per_s=0.1, burst=2.0) as live:
+            client = live.client()
+            client.submit(campaign_doc("a", counts=(1,)), client="alice")
+            client.submit(campaign_doc("b", counts=(2,)), client="alice")
+            with pytest.raises(ServeError) as exc:
+                client.submit(
+                    campaign_doc("c", counts=(3,)), client="alice"
+                )
+            assert exc.value.status == 429
+            assert exc.value.retry_after_s > 0
+            # Other clients are unaffected.
+            status, _ = client.submit(
+                campaign_doc("c", counts=(3,)), client="bob"
+            )
+            assert status.client == "bob"
+
+    def test_full_queue_answers_503(self):
+        with ServerThread(queue_depth=1) as live:
+            client = live.client()
+            # A long job occupies the worker; one more fills the queue.
+            client.submit(
+                campaign_doc("long", counts=tuple(range(1, 9))),
+                client="alice",
+            )
+            client.submit(campaign_doc("queued", counts=(1,)))
+            with pytest.raises(ServeError) as exc:
+                client.submit(campaign_doc("rejected", counts=(2,)))
+            assert exc.value.status == 503
+
+    def test_metrics_route_reports_request_counters(self):
+        with obs.observe(trace=False, profile=False):
+            with ServerThread() as live:
+                client = live.client()
+                client.healthz()
+                status, _ = client.submit(campaign_doc(), client="alice")
+                client.watch(status.job_id, poll_s=0.02, timeout_s=60)
+                doc = client.metrics()
+        assert doc["enabled"] is True
+        counters = doc["metrics"]["counters"]
+        assert counters.get(
+            "serve.requests{route=GET /v1/healthz,status=200}"
+        ) == 1
+        assert counters.get(
+            "serve.requests{route=POST /v1/campaigns,status=202}"
+        ) == 1
+        assert counters.get("serve.submits{client=alice}") == 1
+        gauges = doc["metrics"]["gauges"]
+        assert "serve.queue_depth" in gauges
+
+
+class TestStreaming:
+    def test_results_stream_while_running(self):
+        """The JSONL stream delivers records before the job is done:
+        the first line must arrive while the job is still live."""
+        with ServerThread() as live:
+            client = live.client()
+            status, _ = client.submit(
+                campaign_doc("stream", counts=tuple(range(1, 7)))
+            )
+            seen_live = False
+            records = []
+            for record in client.results(status.job_id):
+                records.append(record)
+                if not client.status(status.job_id).terminal:
+                    seen_live = True
+            assert len(records) == 6
+            assert seen_live, "stream only yielded after completion"
+
+
+class TestDedupe:
+    def test_resubmission_is_served_from_cache(self, tmp_path):
+        doc = campaign_doc("dedupe", counts=(1, 2, 3))
+        with ServerThread(root=tmp_path / "serve") as live:
+            client = live.client()
+            first, _ = client.submit(doc, client="alice")
+            final = client.watch(first.job_id, poll_s=0.02, timeout_s=60)
+            assert final.executed == 3
+            second, created = client.submit(doc, client="alice")
+            assert created   # terminal jobs re-run as new jobs...
+            refinal = client.watch(
+                second.job_id, poll_s=0.02, timeout_s=60
+            )
+            # ...but every trial is a dedupe hit on the shared store.
+            assert refinal.cached == 3
+            assert refinal.executed == 0
+            # Another client's identical campaign also hits the store.
+            other, _ = client.submit(doc, client="bob")
+            otherfinal = client.watch(
+                other.job_id, poll_s=0.02, timeout_s=60
+            )
+            assert otherfinal.cached == 3
+
+
+class TestRestartSurvival:
+    def test_stop_midway_restart_resumes_byte_identical(self, tmp_path):
+        """The acceptance bar: stop a server mid-campaign, restart it
+        on the same root, and the job resumes at the trial boundary
+        and converges — with results byte-identical to a local
+        ``campaign run`` of the same document."""
+        # 8 trials of a few hundred transactions each (tens of ms per
+        # trial): slow enough that the stop below lands mid-campaign,
+        # fast enough for CI.
+        counts = tuple(range(500, 580, 10))
+        doc = campaign_doc("restart", counts=counts)
+        root = tmp_path / "serve"
+
+        with ServerThread(root=root) as live:
+            client = live.client()
+            status, _ = client.submit(doc, client="alice")
+            job_id = status.job_id
+            deadline = time.monotonic() + 60
+            while client.status(job_id).done < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+        # Context exit = graceful stop: checkpoint + journal.
+
+        with ServerThread(root=root) as live:
+            client = live.client()
+            recovered = client.status(job_id)
+            if recovered.terminal:
+                # The first run won the race and finished before the
+                # stop landed; the restart still recovered the job.
+                final = recovered
+            else:
+                assert recovered.resumptions >= 1
+                final = client.watch(job_id, poll_s=0.02, timeout_s=120)
+            assert final.ok
+            assert final.done == len(counts)
+            served = [
+                canonical_json(record)
+                for record in client.results(job_id)
+            ]
+            if recovered.resumptions:
+                # Resumed: the completed prefix came from the store.
+                assert final.cached >= 1
+
+        local = ResultStore(tmp_path / "local")
+        results = Campaign.from_dict(doc, lenient=True).run(
+            executor="serial", store=local
+        )
+        assert len(results) == len(counts)
+        expected = [canonical_json(r.record) for r in results]
+        assert served == expected
+
+        # And the server's own store holds the same bytes.
+        server_store = ResultStore(root / "results", readonly=True)
+        assert sorted(server_store.entries()) == sorted(expected)
